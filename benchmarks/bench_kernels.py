@@ -1,0 +1,102 @@
+"""Host-performance benchmarks for the hot simulation kernels.
+
+Unlike the figure benches (which measure *modeled* cluster quantities
+once), these use pytest-benchmark as intended — repeated timing of the
+vectorized kernels that dominate the simulator's host runtime — so a
+regression in the NumPy code paths (scatter-reduce, coherency staging,
+greedy partitioning) shows up as a wall-clock regression here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConnectedComponentsProgram, PageRankDeltaProgram
+from repro.core import CoherencyExchanger
+from repro.core.transmission import build_lazy_graph
+from repro.graph.generators import erdos_renyi_graph, powerlaw_graph
+from repro.partition.coordinated_cut import coordinated_cut
+from repro.runtime.machine_runtime import MachineRuntime
+
+
+@pytest.fixture(scope="module")
+def big_machine():
+    """A single-machine runtime over a 200k-edge graph."""
+    g = erdos_renyi_graph(20_000, 200_000, seed=1)
+    pg = build_lazy_graph(g, 1, seed=1)
+    return MachineRuntime(pg.machines[0], PageRankDeltaProgram())
+
+
+def test_scatter_kernel_throughput(benchmark, big_machine):
+    """Full-graph scatter: ~200k edge messages per call."""
+    rt = big_machine
+    idx = np.arange(rt.mg.num_local_vertices)
+    deltas = np.ones(idx.size)
+
+    def go():
+        edges = rt.scatter(idx, deltas, track_delta=True)
+        rt.msg[:] = rt.algebra.identity
+        rt.has_msg[:] = False
+        rt.clear_deltas(np.arange(rt.mg.num_local_vertices))
+        return edges
+
+    edges = benchmark(go)
+    assert edges == rt.mg.num_local_edges
+    # vectorized scatter should stay well above 1M edges/s on any host
+    benchmark.extra_info["edges_per_call"] = edges
+
+
+def test_take_ready_kernel(benchmark, big_machine):
+    rt = big_machine
+    rt.has_msg[:] = True
+    rt.msg[:] = 1.0
+
+    def go():
+        idx, accum = rt.take_ready()
+        rt.has_msg[:] = True
+        rt.msg[:] = 1.0
+        return idx.size
+
+    n = benchmark(go)
+    assert n == rt.mg.num_local_vertices
+
+
+@pytest.fixture(scope="module")
+def exchange_setup():
+    g = powerlaw_graph(5_000, 60_000, seed=2)
+    pg = build_lazy_graph(g, 16, seed=1)
+    prog = ConnectedComponentsProgram()
+    rts = [MachineRuntime(mg, prog) for mg in pg.machines]
+    ex = CoherencyExchanger(pg, prog, rts)
+    return pg, rts, ex
+
+
+def test_coherency_exchange_kernel(benchmark, exchange_setup):
+    """One full delta exchange over a 16-machine skewed layout."""
+    pg, rts, ex = exchange_setup
+
+    def go():
+        for rt in rts:  # arm every replicated vertex with a delta
+            rep = rt.mg.num_replicas > 1
+            rt.delta_msg[rep] = 0.0
+            rt.has_delta[rep] = True
+        report = ex.exchange()
+        for rt in rts:  # consume deliveries so the next round re-arms
+            rt.msg[:] = rt.algebra.identity
+            rt.has_msg[:] = False
+        # reset the subsumption snapshot so every round ships again
+        if ex._shared is not None:
+            for mi, rt in enumerate(rts):
+                ex._shared[mi][:] = rt.values()
+        return report.messages
+
+    msgs = benchmark(go)
+    assert msgs > 0
+    benchmark.extra_info["messages_per_exchange"] = msgs
+
+
+def test_coordinated_cut_kernel(benchmark):
+    """The greedy partitioner is the one deliberate Python loop; keep an
+    eye on its throughput (edges placed per second)."""
+    g = powerlaw_graph(3_000, 40_000, seed=3)
+    assignment = benchmark(coordinated_cut, g, 16, 7)
+    assert assignment.size == g.num_edges

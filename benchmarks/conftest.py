@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+The benchmark modules reproduce the paper's tables/figures on the
+deterministic cluster simulator. Host wall-clock (what pytest-benchmark
+measures) is how long the *simulation* takes; the reproduced quantities
+— modeled cluster time, synchronizations, traffic — are printed as
+paper-style tables and attached to each benchmark's ``extra_info``.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Measure ``fn`` exactly once (runs are deterministic simulations)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+@pytest.fixture()
+def run_once():
+    return once

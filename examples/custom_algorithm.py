@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Writing your own push-style delta program.
+
+LazyGraph's programming contract (paper §3.1): express the vertex update
+as ``x ← x +op ⊕_j Δ_j`` with a commutative, associative ``Sum``. Here we
+implement *influence propagation with decay* from scratch: a set of seed
+vertices has influence 1.0, and influence decays by a factor per hop;
+every vertex ends with the strongest influence that reaches it,
+
+    influence(v) = max over seeds s of  decay^hops(s → v).
+
+The algebra is (ℝ, max) — idempotent, so the runtime needs no Inverse
+and every coherency mode works. The same program runs unchanged on the
+eager and the lazy engines.
+
+    python examples/custom_algorithm.py
+"""
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.api import DeltaProgram, MAX_ALGEBRA
+from repro.partition.partitioned_graph import MachineGraph
+
+
+class InfluenceProgram(DeltaProgram):
+    """Decaying max-influence propagation from a seed set."""
+
+    name = "influence"
+    algebra = MAX_ALGEBRA
+    delta_bytes = 16
+    requires_symmetric = False
+    needs_weights = False
+
+    def __init__(self, seeds, decay: float = 0.5, floor: float = 1e-3):
+        self.seeds = np.asarray(sorted(set(seeds)), dtype=np.int64)
+        self.decay = float(decay)
+        self.floor = float(floor)  # influence below this stops spreading
+
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        inf = np.full(mg.num_local_vertices, -np.inf)
+        inf[np.isin(mg.vertices, self.seeds)] = 1.0
+        return {"vdata": inf}
+
+    def initial_scatter(self, mg, state) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        active = np.isin(mg.vertices, self.seeds)
+        return np.where(active, 1.0, -np.inf), active
+
+    def apply(self, mg, state, idx, accum):
+        inf = state["vdata"]
+        improved = accum > inf[idx]
+        inf[idx] = np.maximum(inf[idx], accum)
+        # stop spreading once influence is negligible
+        fire = improved & (inf[idx] * self.decay > self.floor)
+        return inf[idx], fire
+
+    def edge_message(self, mg, edge_sel, delta_per_edge):
+        return delta_per_edge * self.decay
+
+
+def main() -> None:
+    graph = repro.load_dataset("livejournal-mini")
+    seeds = [0, 7, 42]
+    program = InfluenceProgram(seeds, decay=0.5)
+
+    eager = repro.run(graph, program, engine="powergraph-sync", machines=24)
+    program = InfluenceProgram(seeds, decay=0.5)  # fresh instance per run
+    lazy = repro.run(graph, program, engine="lazy-block", machines=24)
+
+    finite_e = np.where(np.isfinite(eager.values), eager.values, 0.0)
+    finite_l = np.where(np.isfinite(lazy.values), lazy.values, 0.0)
+    assert np.allclose(finite_e, finite_l), "engines disagree!"
+
+    reached = np.isfinite(lazy.values) & (lazy.values > 0)
+    print(f"seeds {seeds} reach {reached.sum()} of {graph.num_vertices} vertices")
+    for level, lo in ((1, 0.5), (2, 0.25), (3, 0.125)):
+        n = int(((lazy.values >= lo) & np.isfinite(lazy.values)).sum())
+        print(f"  influence ≥ {lo:>5}: {n} vertices (≤{level} hops from a seed)")
+    print(f"\n  eager: {eager.stats.summary()}")
+    print(f"  lazy : {lazy.stats.summary()}")
+
+
+if __name__ == "__main__":
+    main()

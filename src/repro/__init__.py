@@ -1,0 +1,76 @@
+"""repro — a reproduction of LazyGraph (PPoPP'18).
+
+LazyGraph replaces the *eager* replica coherency of PowerGraph-style
+distributed graph engines with *lazy* coherency: replicas of a vertex
+evolve independent local views and re-converge, by computation, only at
+sparse data coherency points. This package reimplements the full system
+— graph substrate, vertex-cut partitioning with parallel-edges, a
+deterministic cluster simulator, the eager PowerGraph baselines, and the
+lazy engines — in pure Python/NumPy. See DESIGN.md for the system map
+and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart
+----------
+>>> import repro
+>>> result = repro.run("road-usa-mini", "sssp", engine="lazy-block",
+...                    machines=8)
+>>> result.stats.global_syncs > 0
+True
+"""
+
+from repro.api import DeltaAlgebra, DeltaProgram, MAX_ALGEBRA, MIN_ALGEBRA, SUM_ALGEBRA
+from repro.algorithms import make_program, program_names
+from repro.cluster import ClusterSim, CommMode, NetworkModel, RunStats
+from repro.core import (
+    AdaptiveIntervalModel,
+    LazyBlockAsyncEngine,
+    LazyVertexAsyncEngine,
+    NeverLazyModel,
+    SimpleIntervalModel,
+    build_lazy_graph,
+    make_interval_model,
+)
+from repro.errors import ReproError
+from repro.graph import DiGraph, dataset_info, dataset_names, load_dataset
+from repro.partition import EdgeSplitConfig, PartitionedGraph, partition_graph
+from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
+from repro.run_api import ENGINE_NAMES, prepare_graph, run
+from repro.runtime import EngineResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run",
+    "prepare_graph",
+    "ENGINE_NAMES",
+    "DiGraph",
+    "load_dataset",
+    "dataset_names",
+    "dataset_info",
+    "partition_graph",
+    "PartitionedGraph",
+    "EdgeSplitConfig",
+    "build_lazy_graph",
+    "DeltaProgram",
+    "DeltaAlgebra",
+    "SUM_ALGEBRA",
+    "MIN_ALGEBRA",
+    "MAX_ALGEBRA",
+    "make_program",
+    "program_names",
+    "PowerGraphSyncEngine",
+    "PowerGraphAsyncEngine",
+    "LazyBlockAsyncEngine",
+    "LazyVertexAsyncEngine",
+    "AdaptiveIntervalModel",
+    "SimpleIntervalModel",
+    "NeverLazyModel",
+    "make_interval_model",
+    "NetworkModel",
+    "CommMode",
+    "ClusterSim",
+    "RunStats",
+    "EngineResult",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""The paper's four evaluation algorithms (plus BFS) as delta programs.
+
+Each algorithm is a push-style :class:`~repro.api.vertex_program.DeltaProgram`
+that runs unchanged on the eager PowerGraph baselines and the lazy
+LazyGraph engines, plus a single-machine reference implementation used
+as ground truth in tests (:mod:`repro.algorithms.reference`).
+"""
+
+from repro.algorithms.bfs import BFSProgram
+from repro.algorithms.cc import ConnectedComponentsProgram
+from repro.algorithms.kcore import KCoreProgram
+from repro.algorithms.pagerank import PageRankDeltaProgram
+from repro.algorithms.ppr import PersonalizedPageRankProgram
+from repro.algorithms.sssp import SSSPProgram
+from repro.algorithms.reference import (
+    cc_reference,
+    kcore_reference,
+    pagerank_reference,
+    ppr_reference,
+    sssp_reference,
+    bfs_reference,
+)
+from repro.algorithms.drivers import scc_reference, strongly_connected_components
+from repro.algorithms.registry import make_program, program_names
+
+__all__ = [
+    "PageRankDeltaProgram",
+    "PersonalizedPageRankProgram",
+    "SSSPProgram",
+    "ConnectedComponentsProgram",
+    "KCoreProgram",
+    "BFSProgram",
+    "pagerank_reference",
+    "ppr_reference",
+    "sssp_reference",
+    "cc_reference",
+    "kcore_reference",
+    "bfs_reference",
+    "make_program",
+    "program_names",
+    "strongly_connected_components",
+    "scc_reference",
+]

@@ -1,0 +1,193 @@
+"""Single-machine reference implementations (ground truth for tests).
+
+Each function computes, on the whole un-partitioned graph, the exact
+quantity the corresponding :class:`~repro.api.vertex_program.DeltaProgram`
+converges to. The engine test-suite's central invariant (paper §3.5) is
+that every engine × partitioner × coherency-mode combination reproduces
+these values — exactly for the min/peeling algorithms, within tolerance
+for PageRank.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "pagerank_reference",
+    "ppr_reference",
+    "sssp_reference",
+    "cc_reference",
+    "kcore_reference",
+    "bfs_reference",
+]
+
+
+def pagerank_reference(
+    graph: DiGraph,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iters: int = 10_000,
+) -> np.ndarray:
+    """Fixpoint of ``PR(i) = (1−d) + d·Σ_{j→i} PR(j)/outDeg(j)``.
+
+    Matches the delta program's semantics: dangling-vertex mass is *not*
+    redistributed (a rank-sink formulation, as in the paper's Fig 3
+    program). Iterated to ``tol`` in the max-norm, far tighter than any
+    engine tolerance, so this acts as exact ground truth.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0)
+    out_deg = graph.out_degrees().astype(np.float64)
+    safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+    pr = np.full(n, 1.0 - damping)
+    src, dst = graph.src, graph.dst
+    for _ in range(max_iters):
+        contrib = pr / safe_deg
+        nxt = np.full(n, 1.0 - damping)
+        np.add.at(nxt, dst, damping * contrib[src])
+        if np.max(np.abs(nxt - pr)) < tol:
+            return nxt
+        pr = nxt
+    raise AlgorithmError("pagerank_reference failed to converge")
+
+
+def ppr_reference(
+    graph: DiGraph,
+    seeds,
+    damping: float = 0.85,
+    tol: float = 1e-12,
+    max_iters: int = 100_000,
+) -> np.ndarray:
+    """Fixpoint of seeded PageRank (teleport mass split over ``seeds``)."""
+    n = graph.num_vertices
+    seeds = np.asarray(sorted(set(int(s) for s in seeds)), dtype=np.int64)
+    if seeds.size == 0:
+        raise AlgorithmError("ppr_reference needs at least one seed")
+    base = np.zeros(n)
+    base[seeds] = (1.0 - damping) / seeds.size
+    out_deg = graph.out_degrees().astype(np.float64)
+    safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+    pr = base.copy()
+    src, dst = graph.src, graph.dst
+    for _ in range(max_iters):
+        contrib = pr / safe_deg
+        nxt = base.copy()
+        np.add.at(nxt, dst, damping * contrib[src])
+        if np.max(np.abs(nxt - pr)) < tol:
+            return nxt
+        pr = nxt
+    raise AlgorithmError("ppr_reference failed to converge")
+
+
+def sssp_reference(graph: DiGraph, source: int = 0) -> np.ndarray:
+    """Dijkstra distances from ``source`` (∞ when unreachable)."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} out of range [0, {n})")
+    w = graph.edge_weights()
+    if w.size and w.min() < 0:
+        raise AlgorithmError("sssp_reference requires non-negative weights")
+    indptr, eids = graph.out_csr()
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    dst = graph.dst
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for e in eids[indptr[v] : indptr[v + 1]]:
+            u = dst[e]
+            nd = d + w[e]
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, int(u)))
+    return dist
+
+
+def cc_reference(graph: DiGraph) -> np.ndarray:
+    """Weakly-connected component labels (minimum vertex id per component)."""
+    parent = np.arange(graph.num_vertices, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            # union by smaller label so roots stay component minima
+            if ru < rv:
+                parent[rv] = ru
+            else:
+                parent[ru] = rv
+    return np.array([find(v) for v in range(graph.num_vertices)], dtype=np.float64)
+
+
+def kcore_reference(graph: DiGraph, k: int) -> np.ndarray:
+    """Peeling: survivors' degree within the k-core subgraph, 0 otherwise.
+
+    The graph is treated as undirected (parallel/self edges ignored),
+    matching the symmetrized input the k-core program runs on — on that
+    input a vertex's undirected degree equals its out-degree.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    u, v = graph.to_undirected_edges()
+    n = graph.num_vertices
+    deg = np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+    deg = deg.astype(np.int64)
+    alive = np.ones(n, dtype=bool)
+    # adjacency in CSR over the undirected edge set
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.argsort(src, kind="stable")
+    src_s, dst_s = src[order], dst[order]
+    indptr = np.searchsorted(src_s, np.arange(n + 1))
+    frontier = list(np.flatnonzero(alive & (deg < k)))
+    for x in frontier:
+        alive[x] = False
+    while frontier:
+        x = frontier.pop()
+        for y in dst_s[indptr[x] : indptr[x + 1]].tolist():
+            if alive[y]:
+                deg[y] -= 1
+                if deg[y] < k:
+                    alive[y] = False
+                    frontier.append(y)
+    core = np.where(alive, deg, 0).astype(np.float64)
+    return core
+
+
+def bfs_reference(graph: DiGraph, source: int = 0) -> np.ndarray:
+    """Hop levels from ``source`` along directed edges (∞ unreachable)."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} out of range [0, {n})")
+    level = np.full(n, np.inf)
+    level[source] = 0.0
+    indptr, eids = graph.out_csr()
+    dst = graph.dst
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for v in frontier:
+            for e in eids[indptr[v] : indptr[v + 1]].tolist():
+                u = int(dst[e])
+                if level[u] == np.inf:
+                    level[u] = depth
+                    nxt.append(u)
+        frontier = nxt
+    return level

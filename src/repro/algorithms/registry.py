@@ -1,0 +1,50 @@
+"""Name-based construction of the evaluation programs.
+
+The bench harness and examples refer to algorithms by the paper's names
+(``kcore``, ``pagerank``, ``sssp``, ``cc``); this registry maps those to
+program instances with per-run parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.bfs import BFSProgram
+from repro.algorithms.cc import ConnectedComponentsProgram
+from repro.algorithms.kcore import KCoreProgram
+from repro.algorithms.pagerank import PageRankDeltaProgram
+from repro.algorithms.ppr import PersonalizedPageRankProgram
+from repro.algorithms.sssp import SSSPProgram
+from repro.api.vertex_program import DeltaProgram
+from repro.errors import AlgorithmError
+
+__all__ = ["make_program", "program_names"]
+
+_FACTORIES = {
+    "pagerank": PageRankDeltaProgram,
+    "ppr": PersonalizedPageRankProgram,
+    "sssp": SSSPProgram,
+    "cc": ConnectedComponentsProgram,
+    "kcore": KCoreProgram,
+    "bfs": BFSProgram,
+}
+
+
+def program_names() -> Tuple[str, ...]:
+    """Registered algorithm names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_program(name: str, **kwargs) -> DeltaProgram:
+    """Instantiate a program by name; kwargs go to its constructor.
+
+    >>> make_program("kcore", k=3).k
+    3
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {', '.join(program_names())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,26 @@
+"""Public vertex-program abstractions (paper §3.1).
+
+LazyGraph keeps the GAS programming interface but requires *push-style
+delta programs*: the vertex value evolves as
+``x_i^(t+1) = x_i^(t) +op ⊕_{j→i} Δ_j^(t)`` with a commutative,
+associative ``Sum`` (⊕) and an optional ``Inverse``. The same program
+object runs unchanged on the eager PowerGraph baselines and on the lazy
+engines — mirroring the paper's claim that SSSP/CC/k-core code is
+identical across systems.
+"""
+
+from repro.api.vertex_program import (
+    DeltaAlgebra,
+    DeltaProgram,
+    MAX_ALGEBRA,
+    MIN_ALGEBRA,
+    SUM_ALGEBRA,
+)
+
+__all__ = [
+    "DeltaAlgebra",
+    "DeltaProgram",
+    "SUM_ALGEBRA",
+    "MIN_ALGEBRA",
+    "MAX_ALGEBRA",
+]

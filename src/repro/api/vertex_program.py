@@ -1,0 +1,206 @@
+"""Push-style delta vertex programs and their message algebras.
+
+Why an algebra object
+---------------------
+The paper's correctness argument (§3.5) rests on the user ``Sum`` (⊕)
+being a commutative, associative combiner: replicas may then fold the
+same message multiset in any order/grouping and agree at coherency
+points. :class:`DeltaAlgebra` captures ⊕ together with the two extra
+facts the runtime exploits:
+
+* ``inverse`` — when ⊕ has an inverse (sums), the mirrors-to-master
+  exchange can send one combined delta and let each replica subtract its
+  own contribution (the paper's ``Inverse`` function);
+* ``idempotent`` — when ⊕ is idempotent (min/max), re-applying a
+  replica's own delta is harmless, so mirrors-to-master needs no
+  inverse at all.
+
+Why the engines — not the programs — own the message buffers
+------------------------------------------------------------
+A program only sees ``(local vertex indices, combined accum)`` in
+:meth:`DeltaProgram.apply` and produces per-vertex out-deltas. All
+accumulation (``message[v]``), coherency bookkeeping (``deltaMsg[v]``)
+and activation scheduling live in the engines, which is exactly the
+paper's split between user API functions and runtime graph operators
+(§3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.partition.partitioned_graph import MachineGraph
+
+__all__ = [
+    "DeltaAlgebra",
+    "DeltaProgram",
+    "SUM_ALGEBRA",
+    "MIN_ALGEBRA",
+    "MAX_ALGEBRA",
+]
+
+
+@dataclass(frozen=True)
+class DeltaAlgebra:
+    """A commutative monoid over float64 deltas (the user ``Sum``).
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    ufunc:
+        The binary combiner as a NumPy ufunc (``np.add``/``np.minimum``…).
+        Must be commutative and associative.
+    identity:
+        ⊕-identity (0 for add, +inf for min, −inf for max).
+    inverse_ufunc:
+        Ufunc with ``inverse(combine(a, b), b) == a``, or ``None``.
+    idempotent:
+        ``combine(a, a) == a`` for all a.
+    """
+
+    name: str
+    ufunc: np.ufunc
+    identity: float
+    inverse_ufunc: Optional[np.ufunc] = None
+    idempotent: bool = False
+
+    def combine(self, a, b):
+        """Vectorized ⊕."""
+        return self.ufunc(a, b)
+
+    def combine_at(self, buf: np.ndarray, idx: np.ndarray, values) -> None:
+        """Scatter-accumulate: ``buf[idx] ⊕= values`` with repeats folded."""
+        self.ufunc.at(buf, idx, values)
+
+    def inverse(self, total, own):
+        """Remove ``own`` from ``total`` (requires an inverse)."""
+        if self.inverse_ufunc is None:
+            raise AlgorithmError(
+                f"algebra {self.name!r} has no inverse; use the idempotent path"
+            )
+        return self.inverse_ufunc(total, own)
+
+    @property
+    def supports_mirrors_to_master(self) -> bool:
+        """m2m delta exchange is sound iff invertible or idempotent."""
+        return self.idempotent or self.inverse_ufunc is not None
+
+
+SUM_ALGEBRA = DeltaAlgebra(
+    "sum", np.add, 0.0, inverse_ufunc=np.subtract, idempotent=False
+)
+MIN_ALGEBRA = DeltaAlgebra("min", np.minimum, np.inf, idempotent=True)
+MAX_ALGEBRA = DeltaAlgebra("max", np.maximum, -np.inf, idempotent=True)
+
+
+class DeltaProgram(abc.ABC):
+    """A push-style delta vertex program (GatherMsg/Sum/Inverse/Apply/Scatter).
+
+    Subclasses implement the four hooks below with *vectorized* NumPy
+    operations over one machine's local arrays; the engines drive them
+    identically whether coherency is eager or lazy.
+
+    Class attributes
+    ----------------
+    name:
+        Algorithm name (used in reports).
+    algebra:
+        The message :class:`DeltaAlgebra` (the user ``Sum``/``Inverse``).
+    delta_bytes:
+        Wire size of one delta message (for traffic accounting).
+    requires_symmetric:
+        Program semantics assume an undirected graph (CC, k-core); the
+        harness symmetrizes inputs for such programs.
+    needs_weights:
+        Program reads edge weights (SSSP).
+    """
+
+    name: str = "abstract"
+    algebra: DeltaAlgebra = SUM_ALGEBRA
+    delta_bytes: int = 16
+    requires_symmetric: bool = False
+    needs_weights: bool = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        """Allocate this machine's algorithm state (paper ``initData``).
+
+        Called once per machine. Must depend only on the machine's local
+        view plus global per-vertex facts already on ``mg`` (global
+        degrees, replica counts), so that every replica of a vertex
+        initializes identically.
+        """
+
+    @abc.abstractmethod
+    def initial_scatter(
+        self, mg: MachineGraph, state: Dict[str, np.ndarray]
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Initial activation (paper ``initMsg``).
+
+        Returns ``(init_delta, active)``:
+
+        * ``init_delta`` — per-local-vertex out-delta to scatter along
+          local out-edges before the first superstep, or ``None`` when
+          the initial activation carries no message (vertices then enter
+          the first apply with the algebra identity as accum, e.g.
+          k-core's bootstrap round);
+        * ``active`` — boolean mask over local vertices to activate.
+        """
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        mg: MachineGraph,
+        state: Dict[str, np.ndarray],
+        idx: np.ndarray,
+        accum: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Paper ``Apply``: fold ``accum`` into the vertices ``idx``.
+
+        Must update ``state`` in place and return ``(delta_out, fire)``,
+        both aligned with ``idx``: ``delta_out[k]`` is the new out-delta
+        of vertex ``idx[k]`` and ``fire[k]`` says whether it scatters.
+        The update must satisfy the iterative-equation contract: the
+        final state depends only on the multiset of accums folded in,
+        not on their grouping or order.
+        """
+
+    @abc.abstractmethod
+    def edge_message(
+        self,
+        mg: MachineGraph,
+        edge_sel: np.ndarray,
+        delta_per_edge: np.ndarray,
+    ) -> np.ndarray:
+        """Paper ``Scatter``'s per-edge transform.
+
+        ``edge_sel`` are local edge indices being scattered;
+        ``delta_per_edge`` is each edge's source out-delta. Returns the
+        message value deposited at each edge's target (e.g. PageRank
+        divides by the source's global out-degree; SSSP adds the edge
+        weight).
+        """
+
+    # ------------------------------------------------------------------
+    def values(
+        self, mg: MachineGraph, state: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Per-local-vertex result values (default: ``state['vdata']``)."""
+        return state["vdata"]
+
+    def validate(self) -> None:
+        """Sanity-check the program definition (raises AlgorithmError)."""
+        if self.delta_bytes <= 0:
+            raise AlgorithmError(f"{self.name}: delta_bytes must be positive")
+        if not isinstance(self.algebra, DeltaAlgebra):
+            raise AlgorithmError(f"{self.name}: algebra must be a DeltaAlgebra")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<DeltaProgram {self.name} algebra={self.algebra.name}>"

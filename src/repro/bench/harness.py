@@ -1,0 +1,166 @@
+"""Cached experiment execution.
+
+Partitioning dominates setup cost, and every figure reuses the same
+(graph, machines) partitions across engines and algorithms sharing a
+graph *shape* (directed / symmetrized / weighted). The harness caches
+
+* prepared graphs per (dataset, symmetric, weighted),
+* partitioned graphs per (prepared graph, machines, partitioner, seed),
+* completed run results per full config label
+
+so the whole benchmark suite re-executes each distinct engine run once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.algorithms import make_program
+from repro.bench.configs import ExperimentConfig
+from repro.cluster.network import NetworkModel
+from repro.core.interval_model import make_interval_model
+from repro.core.lazy_block_async import LazyBlockAsyncEngine
+from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
+from repro.core.transmission import build_lazy_graph
+from repro.errors import ConfigError
+from repro.graph.datasets import load_dataset
+from repro.graph.digraph import DiGraph
+from repro.partition.edge_splitter import EdgeSplitConfig
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.powergraph.engine_async import PowerGraphAsyncEngine
+from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.runtime.result import EngineResult
+
+__all__ = [
+    "get_prepared_graph",
+    "get_partitioned",
+    "run_config",
+    "compare_lazy_vs_sync",
+    "clear_caches",
+]
+
+_GRAPH_CACHE: Dict[Tuple, DiGraph] = {}
+_PARTITION_CACHE: Dict[Tuple, PartitionedGraph] = {}
+_RESULT_CACHE: Dict[Tuple, EngineResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all harness caches (tests use this for isolation)."""
+    _GRAPH_CACHE.clear()
+    _PARTITION_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def get_prepared_graph(
+    name: str, symmetric: bool, weighted: bool
+) -> DiGraph:
+    """Dataset in the shape an algorithm needs, cached."""
+    key = (name, symmetric, weighted)
+    if key not in _GRAPH_CACHE:
+        g = load_dataset(name, weighted=weighted)
+        if symmetric:
+            sym = g.symmetrized()
+            sym.name = g.name
+            g = sym
+        _GRAPH_CACHE[key] = g
+    return _GRAPH_CACHE[key]
+
+
+def get_partitioned(
+    graph: DiGraph,
+    machines: int,
+    partitioner: str = "coordinated",
+    seed: int = 0,
+    split: Optional[EdgeSplitConfig] = None,
+) -> PartitionedGraph:
+    """Partitioned graph, cached by identity of the prepared graph."""
+    key = (id(graph), machines, partitioner, seed, split)
+    if key not in _PARTITION_CACHE:
+        _PARTITION_CACHE[key] = build_lazy_graph(
+            graph, machines, partitioner=partitioner, split_config=split, seed=seed
+        )
+    return _PARTITION_CACHE[key]
+
+
+_ENGINE_TABLE = {
+    "powergraph-sync": PowerGraphSyncEngine,
+    "powergraph-async": PowerGraphAsyncEngine,
+    "lazy-block": LazyBlockAsyncEngine,
+    "lazy-vertex": LazyVertexAsyncEngine,
+}
+
+
+def run_config(
+    config: ExperimentConfig,
+    network: Optional[NetworkModel] = None,
+    split: Optional[EdgeSplitConfig] = None,
+    use_cache: bool = True,
+) -> EngineResult:
+    """Execute one experiment config (cached by its full identity)."""
+    # config.params is a dict (unhashable); key on the canonical tuple
+    key = (
+        config.label(),
+        config.partitioner,
+        config.interval,
+        config.coherency_mode,
+        config.seed,
+        tuple(sorted(config.resolved_params().items())),
+        split,
+        network,
+    )
+    if use_cache and key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+
+    program = make_program(config.algorithm, **config.resolved_params())
+    graph = get_prepared_graph(
+        config.graph, program.requires_symmetric, program.needs_weights
+    )
+    pgraph = get_partitioned(
+        graph, config.machines, config.partitioner, config.seed, split
+    )
+    engine_cls = _ENGINE_TABLE.get(config.engine)
+    if engine_cls is None:
+        raise ConfigError(f"unknown engine {config.engine!r}")
+    kwargs = {"network": network}
+    if config.engine == "lazy-block":
+        kwargs["interval_model"] = make_interval_model(config.interval)
+        kwargs["coherency_mode"] = config.coherency_mode
+    elif config.engine == "lazy-vertex":
+        kwargs["coherency_mode"] = config.coherency_mode
+    result = engine_cls(pgraph, program, **kwargs).run()
+    if use_cache:
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def compare_lazy_vs_sync(
+    graph: str,
+    algorithm: str,
+    machines: int = 48,
+    network: Optional[NetworkModel] = None,
+    **overrides,
+) -> Dict[str, float]:
+    """The row every per-graph figure needs: lazy vs PowerGraph Sync.
+
+    Returns speedup plus the normalized sync and traffic ratios that
+    Figs 10 and 11 plot.
+    """
+    base = dict(graph=graph, algorithm=algorithm, machines=machines)
+    base.update(overrides)
+    sync = run_config(
+        ExperimentConfig(engine="powergraph-sync", **base), network=network
+    )
+    lazy = run_config(
+        ExperimentConfig(engine="lazy-block", **base), network=network
+    )
+    return {
+        "speedup": sync.stats.modeled_time_s / lazy.stats.modeled_time_s,
+        "sync_time_s": sync.stats.modeled_time_s,
+        "lazy_time_s": lazy.stats.modeled_time_s,
+        "norm_syncs": lazy.stats.global_syncs / max(sync.stats.global_syncs, 1),
+        "norm_traffic": lazy.stats.comm_bytes / max(sync.stats.comm_bytes, 1.0),
+        "sync_syncs": float(sync.stats.global_syncs),
+        "lazy_syncs": float(lazy.stats.global_syncs),
+        "sync_traffic_mb": sync.stats.comm_bytes / 1e6,
+        "lazy_traffic_mb": lazy.stats.comm_bytes / 1e6,
+    }

@@ -1,0 +1,157 @@
+"""Persisting experiment results: regenerate the paper artifacts to disk.
+
+``collect_all_figures()`` runs the full evaluation matrix (re-using the
+harness caches) and returns one JSON-serializable document;
+``write_results()`` saves it as ``results.json`` plus a human-readable
+``RESULTS.md`` with the same tables the benchmarks print. Used by
+``python -m repro figures`` so a reader can regenerate every number in
+EXPERIMENTS.md with one command.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.bench.configs import (
+    FIG9_ALGORITHMS,
+    FIG9_GRAPHS,
+    FIG12_GRAPHS,
+    FIG12_MACHINES,
+    ExperimentConfig,
+)
+from repro.bench.harness import (
+    compare_lazy_vs_sync,
+    get_partitioned,
+    get_prepared_graph,
+    run_config,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.graph.datasets import dataset_info, load_dataset
+
+__all__ = ["collect_all_figures", "write_results", "render_markdown"]
+
+
+def _table1() -> list:
+    rows = []
+    for name in FIG9_GRAPHS:
+        info = dataset_info(name)
+        g = load_dataset(name)
+        lam = get_partitioned(
+            get_prepared_graph(name, False, False), 48
+        ).replication_factor
+        rows.append(
+            {
+                "graph": name,
+                "class": info.category,
+                "vertices": g.num_vertices,
+                "edges": g.num_edges,
+                "ev_ratio": round(g.ev_ratio, 3),
+                "lambda": round(lam, 3),
+                "paper_ev_ratio": info.paper_ev_ratio,
+                "paper_lambda": info.paper_lambda,
+            }
+        )
+    return rows
+
+
+def _fig9_10_11() -> Dict:
+    cells = {}
+    for alg in FIG9_ALGORITHMS:
+        for graph in FIG9_GRAPHS:
+            row = compare_lazy_vs_sync(graph, alg, machines=48)
+            cells[f"{alg}/{graph}"] = {
+                "speedup": round(row["speedup"], 4),
+                "norm_syncs": round(row["norm_syncs"], 4),
+                "norm_traffic": round(row["norm_traffic"], 4),
+                "sync_time_s": round(row["sync_time_s"], 5),
+                "lazy_time_s": round(row["lazy_time_s"], 5),
+            }
+    return cells
+
+
+def _fig12() -> Dict:
+    out = {}
+    for graph in FIG12_GRAPHS:
+        for alg in ("pagerank", "sssp"):
+            for engine in ("powergraph-sync", "powergraph-async", "lazy-block"):
+                series = []
+                for P in FIG12_MACHINES:
+                    r = run_config(
+                        ExperimentConfig(graph, alg, engine=engine, machines=P)
+                    )
+                    series.append(round(r.stats.modeled_time_s, 5))
+                out[f"{alg}/{graph}/{engine}"] = series
+    return out
+
+
+def collect_all_figures() -> Dict:
+    """Run (or fetch from cache) every table/figure; return one document."""
+    return {
+        "machines": 48,
+        "fig12_machines": list(FIG12_MACHINES),
+        "table1": _table1(),
+        "fig9_10_11": _fig9_10_11(),
+        "fig12": _fig12(),
+    }
+
+
+def render_markdown(doc: Dict) -> str:
+    """Render the collected document as paper-style markdown tables."""
+    parts = ["# Regenerated results\n"]
+
+    rows = [
+        [r["graph"], r["class"], r["vertices"], r["edges"],
+         r["ev_ratio"], r["lambda"], r["paper_ev_ratio"], r["paper_lambda"]]
+        for r in doc["table1"]
+    ]
+    parts.append(
+        format_table(
+            ["graph", "class", "#V", "#E", "E/V", "lambda", "paper E/V", "paper lambda"],
+            rows,
+            title="Table 1",
+        )
+    )
+
+    for metric, title in (
+        ("speedup", "Fig 9 — speedup over PowerGraph Sync"),
+        ("norm_syncs", "Fig 10 — normalized synchronizations"),
+        ("norm_traffic", "Fig 11 — normalized traffic"),
+    ):
+        rows = []
+        for graph in FIG9_GRAPHS:
+            rows.append(
+                [graph]
+                + [doc["fig9_10_11"][f"{alg}/{graph}"][metric] for alg in FIG9_ALGORITHMS]
+            )
+        parts.append("")
+        parts.append(format_table(["graph"] + list(FIG9_ALGORITHMS), rows, title=title))
+
+    for graph in FIG12_GRAPHS:
+        for alg in ("pagerank", "sssp"):
+            series = {
+                engine: doc["fig12"][f"{alg}/{graph}/{engine}"]
+                for engine in ("powergraph-sync", "powergraph-async", "lazy-block")
+            }
+            parts.append("")
+            parts.append(
+                format_series(
+                    "machines",
+                    doc["fig12_machines"],
+                    series,
+                    title=f"Fig 12 — {alg} on {graph}",
+                )
+            )
+    return "\n".join(parts) + "\n"
+
+
+def write_results(out_dir: str, doc: Optional[Dict] = None) -> Dict:
+    """Collect (if needed) and write ``results.json`` + ``RESULTS.md``."""
+    doc = doc or collect_all_figures()
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "results.json"), "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    with open(os.path.join(out_dir, "RESULTS.md"), "w", encoding="utf-8") as fh:
+        fh.write(render_markdown(doc))
+    return doc

@@ -1,0 +1,91 @@
+"""Plain-text plotting for run traces (no plotting dependencies).
+
+Terminal-friendly sparklines and bar charts over
+:attr:`~repro.cluster.stats.RunStats.timeline` entries — enough to *see*
+a run's convergence behaviour (the active-count ascent/descent that
+drives the §4.2.1 trend feature) without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["sparkline", "bar_chart", "timeline_plot"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render values as a unicode sparkline, optionally resampled.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        # resample by bucket means
+        out = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            out.append(sum(vals[lo:hi]) / (hi - lo))
+        vals = out
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _TICKS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _TICKS[min(len(_TICKS) - 1, int((v - lo) / span * len(_TICKS)))]
+        for v in vals
+    )
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Horizontal bar chart with aligned labels and values.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  ██    1
+    b  ████  2
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vmax = max(max(values), 1e-300)
+    lwidth = max(len(l) for l in labels)
+    lines: List[str] = []
+    rendered = [f"{v:g}" for v in values]
+    for label, v, text in zip(labels, values, rendered):
+        n = int(round(v / vmax * width))
+        lines.append(f"{label.ljust(lwidth)}  {('█' * n).ljust(width)}  {text}")
+    return "\n".join(lines)
+
+
+def timeline_plot(timeline: Sequence[dict], width: int = 60) -> str:
+    """Summarize an engine trace: active counts + cumulative time.
+
+    Expects the entries produced by running an engine with
+    ``trace=True``. Returns a small multi-line text panel.
+    """
+    if not timeline:
+        return "(no trace recorded — run with trace=True)"
+    actives = [e.get("active", 0) for e in timeline]
+    times = [e.get("modeled_time_s", 0.0) for e in timeline]
+    lines = [
+        f"supersteps: {len(timeline)}   "
+        f"peak active: {max(actives)}   "
+        f"final time: {times[-1]:.4f}s",
+        f"active  {sparkline(actives, width)}",
+        f"time    {sparkline(times, width)}",
+    ]
+    if any("trend" in e for e in timeline):
+        lazy_on = ["+" if e.get("do_local") else "." for e in timeline]
+        if len(lazy_on) > width:
+            step = len(lazy_on) / width
+            lazy_on = [lazy_on[int(i * step)] for i in range(width)]
+        lines.append(f"lazy    {''.join(lazy_on)}   (+ = local stage on)")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark suite prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(value: Cell, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            text = f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            widths[i] = max(widths[i], len(text))
+            cells.append(cell)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(_fmt(c, w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Cell],
+    series: Dict[str, Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render several y-series against one x-axis (a figure's line plot)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,350 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the paper's toolkits are driven from the shell:
+
+* ``run``      — one algorithm × graph × engine, prints the stats line;
+* ``compare``  — lazy vs PowerGraph Sync (a Fig 9/10/11 row);
+* ``datasets`` — the Table 1 registry;
+* ``info``     — structural properties of one graph;
+* ``sweep``    — machine-count scaling series (a Fig 12 panel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.harness import compare_lazy_vs_sync
+from repro.bench.reporting import format_series, format_table
+from repro.graph.datasets import dataset_info, dataset_names, load_dataset
+from repro.graph.properties import compute_properties
+from repro.run_api import ENGINE_NAMES, run
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LazyGraph (PPoPP'18) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--graph", required=True, help="dataset name")
+        p.add_argument(
+            "--algorithm",
+            required=True,
+            choices=["pagerank", "ppr", "sssp", "cc", "kcore", "bfs"],
+        )
+        p.add_argument("--machines", type=int, default=48)
+        p.add_argument("--partitioner", default="coordinated")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--k", type=int, help="k-core K")
+        p.add_argument("--source", type=int, help="SSSP/BFS source vertex")
+        p.add_argument("--tolerance", type=float, help="PageRank/PPR tolerance")
+        p.add_argument(
+            "--seeds", help="comma-separated PPR seed vertices (e.g. 0,7,42)"
+        )
+
+    p_run = sub.add_parser("run", help="run one engine and print its stats")
+    add_common(p_run)
+    p_run.add_argument("--engine", default="lazy-block", choices=list(ENGINE_NAMES))
+    p_run.add_argument("--interval", choices=["adaptive", "simple", "never"])
+    p_run.add_argument(
+        "--coherency-mode", default="dynamic", choices=["dynamic", "a2a", "m2m"]
+    )
+    p_run.add_argument("--top", type=int, default=0, help="print top-N vertices")
+    p_run.add_argument(
+        "--trace", action="store_true",
+        help="record and plot the per-superstep convergence trace",
+    )
+
+    p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
+    add_common(p_cmp)
+
+    sub.add_parser("datasets", help="list the Table 1 dataset registry")
+
+    p_info = sub.add_parser("info", help="structural properties of a graph")
+    p_info.add_argument("--graph", required=True)
+
+    p_sweep = sub.add_parser("sweep", help="machine-count scaling series")
+    add_common(p_sweep)
+    p_sweep.add_argument(
+        "--machine-counts",
+        default="8,16,24,32,40,48",
+        help="comma-separated machine counts",
+    )
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate every table/figure to a results dir"
+    )
+    p_fig.add_argument("--out", default="results", help="output directory")
+
+    p_exp = sub.add_parser(
+        "experiment", help="run a JSON experiment file and print the results"
+    )
+    p_exp.add_argument("--config", required=True, help="study .json file")
+
+    p_val = sub.add_parser(
+        "validate",
+        help="check lazy ≡ eager ≡ reference on a graph file (paper §3.5)",
+    )
+    p_val.add_argument(
+        "--graph-file", required=True,
+        help="edge list / SNAP .txt / DIMACS .gr / .npz graph file",
+    )
+    p_val.add_argument(
+        "--algorithm", default="all",
+        choices=["all", "pagerank", "sssp", "cc", "kcore", "bfs"],
+    )
+    p_val.add_argument("--machines", type=int, default=8)
+    p_val.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _algorithm_params(args) -> dict:
+    params = {}
+    if args.k is not None:
+        params["k"] = args.k
+    if args.source is not None:
+        params["source"] = args.source
+    if args.tolerance is not None:
+        params["tolerance"] = args.tolerance
+    if getattr(args, "seeds", None):
+        params["seeds"] = [int(s) for s in args.seeds.split(",") if s]
+    return params
+
+
+def _cmd_run(args) -> int:
+    kwargs = _algorithm_params(args)
+    result = run(
+        args.graph,
+        args.algorithm,
+        engine=args.engine,
+        machines=args.machines,
+        partitioner=args.partitioner,
+        interval=args.interval,
+        coherency_mode=args.coherency_mode,
+        seed=args.seed,
+        trace=getattr(args, "trace", False),
+        **kwargs,
+    )
+    print(f"{result.engine}/{result.algorithm} on {args.graph} "
+          f"({args.machines} machines): {result.stats.summary()}")
+    if getattr(args, "trace", False):
+        from repro.bench.plots import timeline_plot
+
+        print(timeline_plot(result.stats.timeline))
+    if args.top:
+        order = np.argsort(result.values)[::-1][: args.top]
+        rows = [[int(v), round(float(result.values[v]), 4)] for v in order]
+        print(format_table(["vertex", "value"], rows, title=f"top {args.top}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    row = compare_lazy_vs_sync(
+        args.graph,
+        args.algorithm,
+        machines=args.machines,
+        partitioner=args.partitioner,
+        seed=args.seed,
+        params=_algorithm_params(args),
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["speedup (lazy vs sync)", round(row["speedup"], 3)],
+                ["sync time (s)", round(row["sync_time_s"], 4)],
+                ["lazy time (s)", round(row["lazy_time_s"], 4)],
+                ["normalized syncs", round(row["norm_syncs"], 3)],
+                ["normalized traffic", round(row["norm_traffic"], 3)],
+            ],
+            title=f"{args.algorithm} on {args.graph}, {args.machines} machines",
+        )
+    )
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for name in dataset_names():
+        info = dataset_info(name)
+        g = load_dataset(name)
+        rows.append(
+            [name, info.category, g.num_vertices, g.num_edges,
+             round(g.ev_ratio, 2), info.paper_name]
+        )
+    print(
+        format_table(
+            ["name", "class", "#V", "#E", "E/V", "paper graph"],
+            rows,
+            title="registered datasets (Table 1 analogs)",
+        )
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = load_dataset(args.graph)
+    p = compute_properties(g)
+    rows = [[k, getattr(p, k)] for k in (
+        "num_vertices", "num_edges", "ev_ratio", "max_out_degree",
+        "max_in_degree", "mean_degree", "degree_gini",
+        "num_weak_components", "giant_component_fraction",
+        "diameter_estimate",
+    )]
+    rows = [[k, round(v, 4) if isinstance(v, float) else v] for k, v in rows]
+    print(format_table(["property", "value"], rows, title=args.graph))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    counts = [int(x) for x in args.machine_counts.split(",") if x]
+    kwargs = _algorithm_params(args)
+    series = {"powergraph-sync": [], "lazy-block": []}
+    for P in counts:
+        for engine in series:
+            r = run(
+                args.graph, args.algorithm, engine=engine, machines=P,
+                partitioner=args.partitioner, seed=args.seed, **kwargs,
+            )
+            series[engine].append(round(r.stats.modeled_time_s, 4))
+    print(
+        format_series(
+            "machines", counts, series,
+            title=f"{args.algorithm} on {args.graph} — modeled seconds",
+        )
+    )
+    return 0
+
+
+def _load_graph_file(path: str):
+    from repro.graph.io import load_dimacs, load_edge_list, load_npz
+
+    if path.endswith(".gr"):
+        return load_dimacs(path)
+    if path.endswith(".npz"):
+        return load_npz(path)
+    return load_edge_list(path)
+
+
+def _cmd_validate(args) -> int:
+    from repro.algorithms import (
+        bfs_reference,
+        cc_reference,
+        kcore_reference,
+        pagerank_reference,
+        make_program,
+        sssp_reference,
+    )
+    from repro.run_api import prepare_graph
+
+    graph = _load_graph_file(args.graph_file)
+    print(f"loaded {graph!r}")
+    algorithms = (
+        ["pagerank", "sssp", "cc", "kcore", "bfs"]
+        if args.algorithm == "all"
+        else [args.algorithm]
+    )
+    references = {
+        "pagerank": lambda g: pagerank_reference(g),
+        "sssp": lambda g: sssp_reference(g, 0),
+        "cc": cc_reference,
+        "kcore": lambda g: kcore_reference(g, 3),
+        "bfs": lambda g: bfs_reference(g, 0),
+    }
+    params = {"kcore": {"k": 3}, "sssp": {"source": 0}, "bfs": {"source": 0}}
+    rows = []
+    failures = 0
+    for alg in algorithms:
+        prog = make_program(alg, **params.get(alg, {}))
+        g = prepare_graph(graph, prog, seed=args.seed)
+        ref = references[alg](g)
+        verdicts = []
+        for engine in ("powergraph-sync", "lazy-block"):
+            result = run(
+                g, make_program(alg, **params.get(alg, {})),
+                engine=engine, machines=args.machines, seed=args.seed,
+            )
+            got = np.nan_to_num(result.values, posinf=1e18)
+            want = np.nan_to_num(ref, posinf=1e18)
+            tol = 5e-2 if alg == "pagerank" else 0.0
+            ok = bool(np.allclose(got, want, atol=tol, rtol=tol))
+            verdicts.append(ok)
+            failures += not ok
+        rows.append([alg, *("OK" if v else "MISMATCH" for v in verdicts)])
+    print(
+        format_table(
+            ["algorithm", "eager vs reference", "lazy vs reference"],
+            rows,
+            title=f"§3.5 equivalence on {args.graph_file} ({args.machines} machines)",
+        )
+    )
+    if failures:
+        print(f"{failures} mismatches — see above")
+        return 1
+    print("all engines match the single-machine reference")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench.experiment_file import run_experiment_file
+
+    name, results = run_experiment_file(args.config)
+    rows = []
+    for cfg, r in results:
+        rows.append(
+            [
+                cfg.graph,
+                cfg.algorithm,
+                cfg.engine,
+                cfg.machines,
+                round(r.stats.modeled_time_s, 4),
+                r.stats.global_syncs,
+                round(r.stats.comm_bytes / 1e6, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "algorithm", "engine", "machines", "time_s", "syncs", "traffic_MB"],
+            rows,
+            title=f"study: {name}",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.persistence import write_results
+
+    write_results(args.out)
+    print(f"wrote {os.path.join(args.out, 'results.json')} and RESULTS.md")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "datasets": _cmd_datasets,
+    "info": _cmd_info,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "validate": _cmd_validate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Run statistics: the measured quantities behind every figure.
+
+The paper explains its speedups (Fig 9) through two directly-measured
+counters — the number of global synchronizations (Fig 10) and the
+communication traffic in bytes (Fig 11). :class:`RunStats` collects
+exactly those, plus the work/time breakdown the scalability study
+(Fig 12) needs. Engines only ever *increment* these counters through
+:class:`~repro.cluster.simulator.ClusterSim`; nothing here is modeled
+or estimated except ``modeled_time_s``, which integrates the
+:class:`~repro.cluster.network.NetworkModel` costs as the run proceeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated over one engine run.
+
+    Attributes
+    ----------
+    global_syncs:
+        Number of global synchronizations (barriers). PowerGraph Sync
+        performs three per superstep; LazyBlockAsync one per data
+        coherency point (paper §2.2 / §3.2).
+    comm_bytes:
+        Total bytes crossing the (simulated) network.
+    comm_messages:
+        Number of point-to-point network messages those bytes rode in.
+    comm_rounds:
+        Number of bulk communication rounds (a gather or broadcast over
+        the whole cluster counts as one round).
+    supersteps:
+        Outer-loop iterations of the engine.
+    local_iterations:
+        Micro-iterations inside lazy local-computation stages (0 for the
+        eager engines).
+    coherency_points:
+        Data coherency stages executed (lazy engines only).
+    edge_traversals:
+        Total edges processed across all machines (work measure; the
+        numerator of the TEPS compute model).
+    vertex_updates:
+        Apply operations executed across all machines.
+    modeled_time_s:
+        Modeled cluster wall-clock, integrated from the network model:
+        per-superstep max-machine compute + communication + barriers.
+    compute_time_s / comm_time_s / sync_time_s:
+        Breakdown of ``modeled_time_s``.
+    converged:
+        True when the run reached its fixpoint/tolerance (as opposed to
+        hitting ``max_supersteps``).
+    extra:
+        Free-form per-engine annotations (e.g. comm-mode switch counts).
+    timeline:
+        Optional per-superstep snapshots (engines populate it when
+        constructed with ``trace=True``): dicts with the superstep
+        index, active count, cumulative syncs/bytes/modeled time, and
+        engine-specific fields. Powers convergence plots and the
+        adaptive interval model's offline analysis.
+    """
+
+    global_syncs: int = 0
+    comm_bytes: float = 0.0
+    comm_messages: int = 0
+    comm_rounds: int = 0
+    supersteps: int = 0
+    local_iterations: int = 0
+    coherency_points: int = 0
+    edge_traversals: int = 0
+    vertex_updates: int = 0
+    modeled_time_s: float = 0.0
+    compute_time_s: float = 0.0
+    comm_time_s: float = 0.0
+    sync_time_s: float = 0.0
+    converged: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+    timeline: list = field(default_factory=list)
+    busy_max_total_s: float = 0.0  # Σ per-fold busiest-machine compute
+    busy_mean_total_s: float = 0.0  # Σ per-fold mean machine compute
+
+    # ------------------------------------------------------------------
+    def add_compute(self, seconds: float) -> None:
+        """Account modeled compute time (already max-reduced over machines)."""
+        self.compute_time_s += seconds
+        self.modeled_time_s += seconds
+
+    def add_comm(self, seconds: float) -> None:
+        """Account modeled communication time."""
+        self.comm_time_s += seconds
+        self.modeled_time_s += seconds
+
+    def add_sync(self, seconds: float) -> None:
+        """Account modeled synchronization (barrier) time."""
+        self.sync_time_s += seconds
+        self.modeled_time_s += seconds
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Increment a free-form counter in :attr:`extra`."""
+        self.extra[key] = self.extra.get(key, 0.0) + amount
+
+    @property
+    def compute_skew(self) -> float:
+        """Load imbalance: busiest-machine compute over mean compute.
+
+        1.0 = perfectly balanced; the paper's §2.2 notes this blows up
+        for high-degree vertices under edge-cut placement (the vertex-cut
+        motivation) — measured here per fold (barrier/settle window).
+        """
+        if self.busy_mean_total_s <= 0:
+            return 1.0
+        return self.busy_max_total_s / self.busy_mean_total_s
+
+    def snapshot(self, **fields) -> Dict:
+        """Append a timeline entry (cumulative counters + caller fields)."""
+        entry = {
+            "superstep": self.supersteps,
+            "global_syncs": self.global_syncs,
+            "comm_bytes": self.comm_bytes,
+            "modeled_time_s": self.modeled_time_s,
+        }
+        entry.update(fields)
+        self.timeline.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human-readable digest (used by examples and benches)."""
+        return (
+            f"time={self.modeled_time_s:.4f}s syncs={self.global_syncs} "
+            f"traffic={self.comm_bytes / 1e6:.3f}MB msgs={self.comm_messages} "
+            f"supersteps={self.supersteps} converged={self.converged}"
+        )

@@ -1,0 +1,44 @@
+"""The paper's contribution: the LazyAsync execution model.
+
+Replicas of a vertex are treated as *independent vertices* that evolve
+local views from local messages only, accumulating ``deltaMsg``; they
+re-converge to a shared global view by *computation* at sparse data
+coherency points (paper §3). This package provides:
+
+* :class:`LazyBlockAsyncEngine` — paper Algorithm 1 (the engine behind
+  every evaluation figure): bulk local-computation stages separated by
+  single-barrier coherency stages;
+* :class:`LazyVertexAsyncEngine` — paper Algorithm 2 (left as future
+  work in the paper; implemented here): no global barrier, per-replica
+  coherency triggered by delta age;
+* :class:`CoherencyExchanger` — the delta exchange in both all-to-all
+  and mirrors-to-master modes with the paper's §4.2.2 dynamic switch;
+* the adaptive interval model (§4.2.1) deciding when lazy mode turns on
+  and how long a local stage may run;
+* :func:`build_lazy_graph` — one-call partition + edge-split pipeline.
+"""
+
+from repro.core.coherency import CoherencyExchanger, ExchangeReport
+from repro.core.interval_model import (
+    AdaptiveIntervalModel,
+    IntervalModel,
+    NeverLazyModel,
+    SimpleIntervalModel,
+    make_interval_model,
+)
+from repro.core.lazy_block_async import LazyBlockAsyncEngine
+from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
+from repro.core.transmission import build_lazy_graph
+
+__all__ = [
+    "CoherencyExchanger",
+    "ExchangeReport",
+    "IntervalModel",
+    "AdaptiveIntervalModel",
+    "SimpleIntervalModel",
+    "NeverLazyModel",
+    "make_interval_model",
+    "LazyBlockAsyncEngine",
+    "LazyVertexAsyncEngine",
+    "build_lazy_graph",
+]

@@ -1,0 +1,224 @@
+"""Delta exchange at data coherency points (paper §3.2 + §4.2.2).
+
+At a coherency point every participating replica contributes the
+``deltaMsg`` it accumulated from one-edge-mode messages since the last
+point; every replica of an exchanged vertex then folds *the other
+replicas' deltas* into its inbox and replays Apply — restoring a shared
+global view by computation.
+
+Two wire protocols carry the same information (paper Fig 5):
+
+* **all-to-all** — each replica with a delta sends it to every other
+  replica: ``Σ_v N_v^hasDelta · (Num_v − 1)`` messages;
+* **mirrors-to-master** — mirrors send deltas to the master, the master
+  combines and broadcasts one total; each replica removes its own
+  contribution with the algebra's ``Inverse`` (or relies on idempotency):
+  ``Σ_v (N_v^hasDelta + Num_v − 2)`` messages.
+
+Both are implemented over the same vectorized staging (results are
+bit-identical — a tested invariant); they differ in the traffic charged
+and the time model used. The ``dynamic`` policy evaluates both volumes
+with the fitted time curves and picks the cheaper (§4.2.2).
+
+Partial exchanges (used by LazyVertexAsync) are supported: only
+*participating* replicas contribute and clear their deltas; every
+replica of an exchanged vertex still receives the participants' data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaProgram
+from repro.cluster.network import CommMode, NetworkModel
+from repro.errors import EngineError
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+__all__ = ["CoherencyExchanger", "ExchangeReport"]
+
+ParticipantFn = Callable[[MachineRuntime], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ExchangeReport:
+    """What one coherency exchange moved and how it was priced."""
+
+    mode: CommMode
+    volume_bytes: float
+    messages: int
+    volume_a2a_bytes: float
+    volume_m2m_bytes: float
+    vertices_exchanged: int
+
+    @property
+    def empty(self) -> bool:
+        return self.vertices_exchanged == 0
+
+
+class CoherencyExchanger:
+    """Executes delta exchanges over a partitioned graph's replicas."""
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: DeltaProgram,
+        runtimes: List[MachineRuntime],
+        mode: str = "dynamic",
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        if mode not in ("dynamic", "a2a", "m2m"):
+            raise EngineError(f"unknown coherency mode {mode!r}")
+        if mode in ("dynamic", "m2m") and not program.algebra.supports_mirrors_to_master:
+            raise EngineError(
+                f"algebra {program.algebra.name!r} supports neither Inverse "
+                f"nor idempotency; only mode='a2a' is sound"
+            )
+        self.pgraph = pgraph
+        self.program = program
+        self.runtimes = runtimes
+        self.mode = mode
+        self.network = network or NetworkModel()
+        n = pgraph.graph.num_vertices
+        self._total = np.empty(n, dtype=np.float64)
+        self._cnt = np.zeros(n, dtype=np.int64)
+        self._switches = 0
+        self._last_mode: Optional[CommMode] = None
+        # Subsumption filter (idempotent ⊕ only): the shared view as of
+        # the last coherency point, per replica. A delta that does not
+        # strictly improve on it is implied by already-exchanged data
+        # (every past improvement travelled through some earlier delta),
+        # so shipping it again is pure redundancy — this is what keeps
+        # lazy label-correction traffic below the eager baseline's.
+        self._shared: Optional[List[np.ndarray]] = None
+        if program.algebra.idempotent:
+            # initial shared view = the initial vdata (identical on every
+            # replica by the DeltaProgram.make_state contract)
+            self._shared = [rt.values().astype(np.float64).copy() for rt in runtimes]
+
+    @property
+    def mode_switches(self) -> int:
+        """How many times the dynamic policy changed wire protocol."""
+        return self._switches
+
+    # ------------------------------------------------------------------
+    def exchange(
+        self, participants: Optional[ParticipantFn] = None
+    ) -> ExchangeReport:
+        """Run one coherency exchange; returns the traffic report.
+
+        ``participants`` selects, per machine, which local replicas
+        contribute their delta (boolean mask over local vertices);
+        ``None`` means every replica with a pending delta participates
+        (the LazyBlockAsync full exchange).
+        """
+        alg = self.program.algebra
+        ident = alg.identity
+        total, cnt = self._total, self._cnt
+        total.fill(ident)
+        cnt.fill(0)
+
+        # ---- collect participants' deltas -----------------------------
+        part_idx: List[np.ndarray] = []
+        for mi, rt in enumerate(self.runtimes):
+            mask = rt.has_delta & (rt.mg.num_replicas > 1)
+            if self._shared is not None:
+                # subsumption filter: a delta that does not strictly
+                # improve the last shared view carries no new information
+                improves = alg.combine(rt.delta_msg, self._shared[mi]) != self._shared[mi]
+                subsumed = np.flatnonzero(mask & ~improves)
+                if subsumed.size:
+                    rt.clear_deltas(subsumed)
+                mask = mask & improves
+            if participants is not None:
+                mask = mask & participants(rt)
+            idx = np.flatnonzero(mask)
+            part_idx.append(idx)
+            if idx.size:
+                gids = rt.mg.vertices[idx]
+                alg.combine_at(total, gids, rt.delta_msg[idx])
+                np.add.at(cnt, gids, 1)
+
+        exchanged = np.flatnonzero(cnt > 0)
+        if exchanged.size == 0:
+            # still clear deltas of unreplicated vertices (they have no
+            # peers to inform; their messages were applied locally)
+            for rt, idx in zip(self.runtimes, part_idx):
+                solo = np.flatnonzero(rt.has_delta & (rt.mg.num_replicas == 1))
+                if solo.size:
+                    rt.clear_deltas(solo)
+            return ExchangeReport(
+                CommMode.ALL_TO_ALL, 0.0, 0, 0.0, 0.0, 0
+            )
+
+        # ---- price both wire protocols (paper's volume equations) -----
+        nrep = self.pgraph.num_replicas[exchanged]
+        nhas = cnt[exchanged]
+        b = float(self.program.delta_bytes)
+        msgs_a2a = int((nhas * (nrep - 1)).sum())
+        msgs_m2m = int((nhas + nrep - 2).sum())
+        vol_a2a = msgs_a2a * b
+        vol_m2m = msgs_m2m * b
+        if self.mode == "a2a":
+            mode = CommMode.ALL_TO_ALL
+        elif self.mode == "m2m":
+            mode = CommMode.MIRRORS_TO_MASTER
+        else:
+            mode = self.network.pick_mode(
+                vol_a2a, vol_m2m, self.pgraph.num_machines
+            )
+        if self._last_mode is not None and mode is not self._last_mode:
+            self._switches += 1
+        self._last_mode = mode
+        volume = vol_a2a if mode is CommMode.ALL_TO_ALL else vol_m2m
+        messages = msgs_a2a if mode is CommMode.ALL_TO_ALL else msgs_m2m
+
+        # ---- deliver: every replica folds the others' combined delta --
+        use_inverse = not alg.idempotent
+        for mi, (rt, idx) in enumerate(zip(self.runtimes, part_idx)):
+            gids_all = rt.mg.vertices
+            c = cnt[gids_all]
+            participated = np.zeros(rt.mg.num_local_vertices, dtype=bool)
+            participated[idx] = True
+            others = c - participated.astype(np.int64)
+            recv = np.flatnonzero(others > 0)
+            if recv.size:
+                tot = total[gids_all[recv]]
+                if use_inverse:
+                    own = np.where(
+                        participated[recv], rt.delta_msg[recv], ident
+                    )
+                    incoming = alg.inverse(tot, own)
+                else:
+                    # idempotent ⊕: re-folding own contribution is a no-op
+                    incoming = tot
+                rt.msg[recv] = alg.combine(rt.msg[recv], incoming)
+                rt.has_msg[recv] = True
+            # advance this replica's shared-view snapshot with everything
+            # exchanged for its vertices (participants' combined deltas)
+            if self._shared is not None:
+                touched = np.flatnonzero(c > 0)
+                if touched.size:
+                    shared = self._shared[mi]
+                    shared[touched] = alg.combine(
+                        shared[touched], total[gids_all[touched]]
+                    )
+            # participants' deltas are now delivered; unreplicated
+            # vertices' deltas are dead weight either way
+            clear = np.flatnonzero(
+                participated | (rt.has_delta & (rt.mg.num_replicas == 1))
+            )
+            if clear.size:
+                rt.clear_deltas(clear)
+
+        return ExchangeReport(
+            mode=mode,
+            volume_bytes=volume,
+            messages=messages,
+            volume_a2a_bytes=vol_a2a,
+            volume_m2m_bytes=vol_m2m,
+            vertices_exchanged=int(exchanged.size),
+        )

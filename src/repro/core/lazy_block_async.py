@@ -1,0 +1,159 @@
+"""LazyBlockAsync — paper Algorithm 1, the engine behind every figure.
+
+Execution alternates two stages:
+
+* **local computation stage** (optional, gated by ``turnOnLazy()``):
+  machines run Apply/ScatterGatherMsg micro-iterations entirely on local
+  data — replicas of a vertex drift apart, new local views become
+  visible to local neighbours immediately, and one-edge messages
+  accumulate into ``deltaMsg``. No communication, no synchronization.
+  The stage is bounded by the interval model's ``doLC()`` budget
+  (``3·T`` of the stage's first micro-iteration by default) or ends at
+  local quiescence.
+* **data coherency stage**: one delta exchange (all-to-all or
+  mirrors-to-master, dynamically switched) followed by **one** global
+  barrier — against the eager baseline's two rounds and three barriers —
+  then the coherency point's Apply+Scatter restores the shared view and
+  seeds the next stage.
+
+The first iteration runs without a local stage (paper §4.2.1 point 3);
+afterwards ``turnOnLazy`` is re-evaluated at every coherency point from
+the graph's E/V ratio and the active-count trend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.vertex_program import DeltaProgram
+from repro.cluster.network import NetworkModel
+from repro.core.coherency import CoherencyExchanger
+from repro.core.interval_model import (
+    AdaptiveIntervalModel,
+    IntervalModel,
+)
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.base_engine import BaseEngine
+
+__all__ = ["LazyBlockAsyncEngine"]
+
+_MAX_LOCAL_ITERS = 100_000  # hard stop against pathological programs
+
+
+class LazyBlockAsyncEngine(BaseEngine):
+    """The lazy bulk engine (Algorithm 1).
+
+    Parameters
+    ----------
+    interval_model:
+        Strategy for ``turnOnLazy``/``doLC`` (default: the paper's
+        adaptive rule).
+    coherency_mode:
+        ``"dynamic"`` (paper default), ``"a2a"`` or ``"m2m"``.
+    """
+
+    name = "lazy-block"
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: DeltaProgram,
+        network: Optional[NetworkModel] = None,
+        interval_model: Optional[IntervalModel] = None,
+        coherency_mode: str = "dynamic",
+        max_supersteps: int = 100_000,
+        trace: bool = False,
+    ) -> None:
+        super().__init__(pgraph, program, network, max_supersteps, trace)
+        self.interval_model = interval_model or AdaptiveIntervalModel()
+        self.exchanger = CoherencyExchanger(
+            pgraph, program, self.runtimes, coherency_mode, self.sim.network
+        )
+
+    # ------------------------------------------------------------------
+    def _local_micro_iteration(self) -> "tuple[bool, float]":
+        """One Apply+Scatter sweep on every machine; local writes only.
+
+        Returns ``(did_work, modeled_iteration_seconds)`` where the time
+        is the slowest machine's share (machines run concurrently).
+        """
+        net = self.sim.network
+        worked = False
+        slowest = 0.0
+        for rt in self.runtimes:
+            idx, accum = rt.take_ready()
+            edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
+            if idx.size:
+                worked = True
+                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+                slowest = max(slowest, net.compute_time(edges, idx.size))
+        return worked, slowest
+
+    def _local_stage(self) -> None:
+        """Run the bounded local computation stage (Stage 1)."""
+        budget = None
+        spent = 0.0
+        for _ in range(_MAX_LOCAL_ITERS):
+            worked, seconds = self._local_micro_iteration()
+            if not worked:
+                return  # local quiescence: nothing left to do anywhere
+            self.sim.stats.local_iterations += 1
+            if budget is None:
+                # doLC(): measure the stage's first micro-iteration online
+                budget = self.interval_model.local_budget(seconds)
+            spent += seconds
+            if spent >= budget:
+                return
+
+    # ------------------------------------------------------------------
+    def _execute(self) -> bool:
+        sim = self.sim
+        self._bootstrap(track_delta=True)
+
+        do_local = False  # first iteration has no local stage (§4.2.1)
+        prev_active: Optional[int] = None
+        ev_ratio = self.pgraph.graph.ev_ratio
+
+        for _ in range(self.max_supersteps):
+            # ---- Stage 1: local computation ---------------------------
+            if do_local:
+                self._local_stage()
+
+            # ---- Stage 2: data coherency -------------------------------
+            report = self.exchanger.exchange()
+            sim.bulk_transfer(report.volume_bytes, report.messages)
+            if not report.empty:
+                sim.coherency_exchange(report.mode, report.volume_bytes)
+            sim.barrier()  # the single global synchronization
+            sim.stats.coherency_points += 1
+
+            active = self._global_active_count()
+            if active == 0:
+                sim.stats.extra["mode_switches"] = self.exchanger.mode_switches
+                if self.trace:
+                    sim.stats.snapshot(active=0, do_local=do_local)
+                return True
+
+            # trend of the active-vertex count between coherency points
+            if prev_active:
+                trend = (prev_active - active) / prev_active
+            else:
+                trend = 0.0
+            do_local = self.interval_model.turn_on_lazy(ev_ratio, trend)
+            prev_active = active
+            if self.trace:
+                sim.stats.snapshot(
+                    active=active,
+                    trend=trend,
+                    do_local=do_local,
+                    mode=report.mode.value,
+                    exchanged=report.vertices_exchanged,
+                )
+
+            # ---- data coherency point: Apply + Scatter -----------------
+            for rt in self.runtimes:
+                idx, accum = rt.take_ready()
+                edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
+                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+            sim.stats.supersteps += 1
+        return False

@@ -1,0 +1,126 @@
+"""LazyVertexAsync — paper Algorithm 2 (future work there; built here).
+
+No global barrier anywhere: machines continuously drain their local
+queues (Apply + Scatter with immediate local visibility), and a replica
+participates in a *partial* coherency exchange only when its own
+``needDataCoherency`` predicate fires — here, when its delta has been
+pending for ``max_delta_age`` local rounds (freshly-updated hot vertices
+keep computing locally; stale deltas get shipped). Exchanges deliver to
+all replicas of the exchanged vertices but clear only the participants,
+so replicas synchronize pairwise-asynchronously, "as soon as possible",
+hiding network latency behind continued local work.
+
+Cost accounting follows the Async conventions: no ``global_syncs``, the
+exchange volume is charged at the fine-grained (unbatched) rate, and
+compute folds without barriers. Unlike eager Async there is no
+per-update locking — replicas are independent by construction — so no
+``async_round_overhead`` applies; that is precisely the paper's argument
+for lazy coherency in an asynchronous setting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaProgram
+from repro.cluster.network import NetworkModel
+from repro.cluster.termination import TerminationDetector
+from repro.core.coherency import CoherencyExchanger
+from repro.errors import EngineError
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.base_engine import BaseEngine
+from repro.runtime.machine_runtime import MachineRuntime
+
+__all__ = ["LazyVertexAsyncEngine"]
+
+
+class LazyVertexAsyncEngine(BaseEngine):
+    """The lazy per-vertex asynchronous engine (Algorithm 2).
+
+    Parameters
+    ----------
+    max_delta_age:
+        A replica's pending delta is exchanged once it is this many
+        local rounds old. 1 = exchange every round (most coherent);
+        larger values trade staleness for fewer exchanges.
+    """
+
+    name = "lazy-vertex"
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: DeltaProgram,
+        network: Optional[NetworkModel] = None,
+        coherency_mode: str = "dynamic",
+        max_delta_age: int = 3,
+        max_supersteps: int = 100_000,
+        trace: bool = False,
+    ) -> None:
+        super().__init__(pgraph, program, network, max_supersteps, trace)
+        if max_delta_age < 1:
+            raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")
+        self.max_delta_age = max_delta_age
+        self.exchanger = CoherencyExchanger(
+            pgraph, program, self.runtimes, coherency_mode, self.sim.network
+        )
+        self._age: List[np.ndarray] = [
+            np.zeros(mg.num_local_vertices, dtype=np.int64)
+            for mg in pgraph.machines
+        ]
+
+    # ------------------------------------------------------------------
+    def _execute(self) -> bool:
+        sim = self.sim
+        net = sim.network
+        detector = TerminationDetector(sim)
+        idle_flags = [True] * sim.num_machines
+        sent_total = 0
+        self._bootstrap(track_delta=True)
+
+        for _ in range(self.max_supersteps):
+            # ---- continuous local processing (one round) ---------------
+            for rt in self.runtimes:
+                idx, accum = rt.take_ready()
+                edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
+                sim.add_compute(rt.mg.machine_id, edges, idx.size)
+
+            # ---- age deltas; stale ones trigger their own coherency ----
+            for rt, age in zip(self.runtimes, self._age):
+                age[rt.has_delta] += 1
+                age[~rt.has_delta] = 0
+
+            def ready(rt: MachineRuntime, _ages=self._age) -> np.ndarray:
+                return _ages[rt.mg.machine_id] >= self.max_delta_age
+
+            idle = self._globally_idle()
+            if idle:
+                # drain everything before concluding: a final full
+                # exchange may reactivate replicas
+                report = self.exchanger.exchange()
+            else:
+                report = self.exchanger.exchange(participants=ready)
+            comm_seconds = 0.0
+            if not report.empty:
+                sim.bulk_transfer(report.volume_bytes, report.messages)
+                comm_seconds = net.async_exchange_time(
+                    report.mode, report.volume_bytes, sim.num_machines
+                )
+                sim.stats.comm_rounds += 1
+                sim.stats.coherency_points += 1
+                sent_total += report.messages
+                for rt, age in zip(self.runtimes, self._age):
+                    age[~rt.has_delta] = 0
+            # transfers pipeline behind local vertex processing (§3.4)
+            sim.settle_async_overlapped(comm_seconds)
+            sim.stats.supersteps += 1
+
+            if idle and report.empty and self._globally_idle():
+                # quiescence is only *known* via termination detection
+                if detector.probe(idle_flags, sent_total, sent_total):
+                    return True
+            else:
+                detector.reset()
+        return False

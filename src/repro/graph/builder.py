@@ -1,0 +1,120 @@
+"""Incremental construction of :class:`~repro.graph.digraph.DiGraph`.
+
+``DiGraph`` itself is array-based and effectively immutable; the builder
+collects edges one at a time (or in bulk) and materializes the arrays
+once at :meth:`GraphBuilder.build` time. Loaders and generators that
+already hold full edge arrays should construct ``DiGraph`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder", "dedup_edges"]
+
+
+def dedup_edges(
+    num_vertices: int, src: np.ndarray, dst: np.ndarray, weights=None
+):
+    """Drop duplicate directed edges, keeping the first occurrence.
+
+    Returns ``(src, dst, weights)`` with weights ``None`` when the input
+    weights were ``None``.
+    """
+    if src.size == 0:
+        return src, dst, weights
+    key = src.astype(np.int64) * np.int64(num_vertices) + dst.astype(np.int64)
+    _, first = np.unique(key, return_index=True)
+    first.sort()
+    if weights is None:
+        return src[first], dst[first], None
+    return src[first], dst[first], weights[first]
+
+
+class GraphBuilder:
+    """Accumulates edges and builds a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Fixed vertex count, or ``None`` to infer ``max endpoint + 1``.
+    weighted:
+        When True, :meth:`add_edge` requires a weight and the built graph
+        carries a weight array.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> b.add_edge(0, 1)
+    >>> b.add_edge(1, 2)
+    >>> g = b.build()
+    >>> (g.num_vertices, g.num_edges)
+    (3, 2)
+    """
+
+    def __init__(
+        self, num_vertices: Optional[int] = None, weighted: bool = False
+    ) -> None:
+        self._fixed_n = num_vertices
+        self.weighted = weighted
+        self._src: List[int] = []
+        self._dst: List[int] = []
+        self._w: List[float] = []
+
+    def add_edge(self, u: int, v: int, weight: Optional[float] = None) -> None:
+        """Append a directed edge ``u -> v``."""
+        if u < 0 or v < 0:
+            raise GraphError(f"vertex ids must be >= 0, got ({u}, {v})")
+        if self._fixed_n is not None and (u >= self._fixed_n or v >= self._fixed_n):
+            raise GraphError(
+                f"edge ({u}, {v}) out of range for fixed num_vertices={self._fixed_n}"
+            )
+        if self.weighted:
+            if weight is None:
+                raise GraphError("weighted builder requires a weight per edge")
+            self._w.append(float(weight))
+        elif weight is not None:
+            raise GraphError("unweighted builder got a weight; pass weighted=True")
+        self._src.append(int(u))
+        self._dst.append(int(v))
+
+    def add_edges(self, pairs, weights=None) -> None:
+        """Bulk-append edges from an iterable of ``(u, v)`` pairs."""
+        if weights is None:
+            for u, v in pairs:
+                self.add_edge(u, v)
+        else:
+            for (u, v), w in zip(pairs, weights):
+                self.add_edge(u, v, w)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._src)
+
+    def build(self, dedup: bool = False, name: str = "") -> DiGraph:
+        """Materialize the graph.
+
+        Parameters
+        ----------
+        dedup:
+            Drop duplicate directed edges (first occurrence wins).
+        name:
+            Name recorded on the graph.
+        """
+        src = np.asarray(self._src, dtype=np.int64)
+        dst = np.asarray(self._dst, dtype=np.int64)
+        weights = np.asarray(self._w, dtype=np.float64) if self.weighted else None
+        if self._fixed_n is not None:
+            n = self._fixed_n
+        elif src.size:
+            n = int(max(src.max(), dst.max())) + 1
+        else:
+            n = 0
+        if dedup:
+            src, dst, weights = dedup_edges(n, src, dst, weights)
+        return DiGraph(n, src, dst, weights, name=name)

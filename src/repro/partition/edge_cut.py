@@ -1,0 +1,30 @@
+"""Edge-cut placement (Pregel/GraphLab-1 style) for comparison.
+
+Vertices are hashed to machines; an edge is stored with its *source*
+vertex's machine. The target endpoint becomes a replica (ghost) wherever
+it has remote in-edges. Edge-cut balances vertices rather than edges, so
+on power-law graphs a hub's whole adjacency list lands on one machine —
+exactly the imbalance that motivated vertex-cuts (§2.2). Included for
+partitioner ablations; the paper's evaluation uses coordinated
+vertex-cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["edge_cut"]
+
+
+def edge_cut(
+    graph: DiGraph, num_machines: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Hash vertices to machines; each edge follows its source vertex."""
+    rng = make_rng(seed)
+    vhash = rng.integers(0, num_machines, size=graph.num_vertices, dtype=np.int32)
+    if graph.num_edges == 0:
+        return np.empty(0, dtype=np.int32)
+    return vhash[graph.src].astype(np.int32)

@@ -1,0 +1,370 @@
+"""The distributed graph representation both engine families execute on.
+
+A :class:`PartitionedGraph` is built from a graph, an edge→machine
+assignment (vertex-cut) and an optional set of *parallel-edges* (paper
+§3.3/§4.1). It materializes:
+
+* one :class:`MachineGraph` per machine — the machine's local vertices
+  (global ids + local re-numbering), its local edges in local indices,
+  per-edge transmission mode, and master/mirror flags;
+* global routing tables — the machines hosting each vertex (replica CSR
+  with aligned local indices) and each vertex's master machine.
+
+Transmission modes
+------------------
+An edge in **one-edge** mode lives on exactly one machine (classic
+PowerGraph); remote delivery of its messages rides on the replica
+coherency mechanism. An edge in **parallel-edges** mode is *instantiated
+on every machine that hosts a replica of its target* (the paper's
+dispatch rule), with the source vertex gaining replicas on those machines
+as needed; its messages are local writes everywhere and are **not**
+folded into ``deltaMsg`` (no double counting at coherency points).
+Dispatch is a fixpoint: adding a replica of ``v`` can widen the required
+span of parallel edges *into* ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.digraph import DiGraph
+from repro.partition.base import validate_assignment
+from repro.utils.rng import derive_seed
+
+__all__ = ["MachineGraph", "PartitionedGraph"]
+
+_HOME_SEED = 0xC0FFEE  # hash seed for edge-less vertices' home machines
+
+
+@dataclass
+class MachineGraph:
+    """One machine's share of the partitioned graph.
+
+    All vertex fields are indexed by *local* vertex index; ``vertices``
+    maps local → global. Edge arrays are aligned with each other.
+    """
+
+    machine_id: int
+    vertices: np.ndarray  # (n_local,) global ids, sorted ascending
+    is_master: np.ndarray  # (n_local,) bool
+    esrc: np.ndarray  # (n_edges,) local source index
+    edst: np.ndarray  # (n_edges,) local target index
+    eweight: np.ndarray  # (n_edges,) float64
+    eparallel: np.ndarray  # (n_edges,) bool: parallel-edge copy?
+    eglobal: np.ndarray  # (n_edges,) global edge id
+    out_deg_global: np.ndarray  # (n_local,) global out-degree of the vertex
+    num_replicas: np.ndarray  # (n_local,) replica count of the vertex
+
+    @property
+    def num_local_vertices(self) -> int:
+        return int(self.vertices.size)
+
+    @property
+    def num_local_edges(self) -> int:
+        return int(self.esrc.size)
+
+    def global_to_local(self, gids: np.ndarray) -> np.ndarray:
+        """Map global vertex ids to local indices (ids must be present)."""
+        idx = np.searchsorted(self.vertices, gids)
+        return idx
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MachineGraph(m={self.machine_id}, |V|={self.num_local_vertices}, "
+            f"|E|={self.num_local_edges}, parallel={int(self.eparallel.sum())})"
+        )
+
+
+@dataclass
+class PartitionedGraph:
+    """A graph placed across ``num_machines`` simulated machines."""
+
+    graph: DiGraph
+    num_machines: int
+    machines: List[MachineGraph]
+    master_of: np.ndarray  # (n,) machine id of each vertex's master
+    rep_indptr: np.ndarray  # (n+1,) CSR over vertices
+    rep_machines: np.ndarray  # machine of each replica
+    rep_local_idx: np.ndarray  # local index of each replica on its machine
+    num_replicas: np.ndarray  # (n,) replica counts
+    parallel_eids: np.ndarray  # global ids of edges in parallel mode
+    assignment: np.ndarray  # one-edge home machine per edge (parallel: -1)
+    extra_stats: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def replication_factor(self) -> float:
+        """λ: mean replicas per vertex (Table 1 column)."""
+        if self.graph.num_vertices == 0:
+            return 0.0
+        return float(self.num_replicas.mean())
+
+    def replicas_of(self, v: int) -> np.ndarray:
+        """Machines hosting vertex ``v`` (sorted)."""
+        return self.rep_machines[self.rep_indptr[v] : self.rep_indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        graph: DiGraph,
+        assignment: np.ndarray,
+        num_machines: int,
+        parallel_eids: Optional[Sequence[int]] = None,
+        bidirectional: bool = False,
+    ) -> "PartitionedGraph":
+        """Materialize the distributed representation.
+
+        Parameters
+        ----------
+        graph, assignment, num_machines:
+            The vertex-cut: ``assignment[e]`` is edge ``e``'s machine.
+        parallel_eids:
+            Global edge ids to place in parallel-edges mode. Their
+            ``assignment`` entry is ignored; they are instantiated by the
+            dispatch fixpoint instead.
+        bidirectional:
+            Use the dispatch rule for bidirectional algorithms (parallel
+            edge ``v→u`` must appear wherever *either* endpoint has a
+            replica). Default is the unidirectional rule (target's
+            machines only), which is what push-style programs need.
+        """
+        if num_machines < 1:
+            raise PartitionError(f"num_machines must be >= 1, got {num_machines}")
+        if num_machines > 1024:
+            raise PartitionError("num_machines > 1024 not supported (bitmask replicas)")
+        assignment = validate_assignment(graph, assignment, num_machines)
+        n = graph.num_vertices
+
+        par = np.zeros(graph.num_edges, dtype=bool)
+        if parallel_eids is not None:
+            pe = np.asarray(list(parallel_eids), dtype=np.int64)
+            if pe.size and (pe.min() < 0 or pe.max() >= graph.num_edges):
+                raise PartitionError("parallel edge id out of range")
+            par[pe] = True
+        parallel_eids_arr = np.flatnonzero(par).astype(np.int64)
+
+        # ---- base replica bitmasks from one-edge placements ------------
+        masks = [0] * n
+        one = ~par
+        src_one, dst_one, asg_one = graph.src[one], graph.dst[one], assignment[one]
+        if src_one.size:
+            for endpoint in (src_one, dst_one):
+                key = np.unique(endpoint * np.int64(num_machines) + asg_one)
+                for k in key.tolist():
+                    masks[k // num_machines] |= 1 << (k % num_machines)
+
+        # ---- home machines for vertices untouched by one-edge edges ----
+        # (edge-less vertices, or endpoints of only-parallel edges)
+        for v in range(n):
+            if masks[v] == 0:
+                home = derive_seed(_HOME_SEED, str(v)) % num_machines
+                masks[v] = 1 << home
+
+        # ---- parallel-edges dispatch fixpoint ---------------------------
+        p_src = graph.src[parallel_eids_arr].tolist()
+        p_dst = graph.dst[parallel_eids_arr].tolist()
+        changed = True
+        iters = 0
+        while changed:
+            changed = False
+            iters += 1
+            if iters > num_machines + len(p_src) + 2:  # pragma: no cover
+                raise PartitionError("parallel-edge dispatch failed to converge")
+            for s, t in zip(p_src, p_dst):
+                need = masks[t] | (masks[s] if bidirectional else 0)
+                if masks[s] | need != masks[s]:
+                    masks[s] |= need
+                    changed = True
+                if bidirectional and masks[t] | masks[s] != masks[t]:
+                    masks[t] |= masks[s]
+                    changed = True
+
+        # ---- replica CSR -------------------------------------------------
+        counts = np.array([bin(m).count("1") for m in masks], dtype=np.int64)
+        rep_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=rep_indptr[1:])
+        rep_machines = np.empty(int(counts.sum()), dtype=np.int32)
+        pos = 0
+        for v in range(n):
+            m = masks[v]
+            while m:
+                low = m & -m
+                rep_machines[pos] = low.bit_length() - 1
+                pos += 1
+                m ^= low
+        # bit iteration emits machines in ascending order already
+
+        # ---- master selection: machine with most one-edge incident edges
+        # per (vertex, machine), counted over one-edge endpoints
+        score = {}
+        if src_one.size:
+            both = np.concatenate([src_one, dst_one]) * np.int64(
+                num_machines
+            ) + np.concatenate([asg_one, asg_one])
+            uniq, cnt = np.unique(both, return_counts=True)
+            score = dict(zip(uniq.tolist(), cnt.tolist()))
+        master_of = np.empty(n, dtype=np.int32)
+        for v in range(n):
+            cand = rep_machines[rep_indptr[v] : rep_indptr[v + 1]]
+            best, best_score = int(cand[0]), -1
+            for mm in cand.tolist():
+                s = score.get(v * num_machines + mm, 0)
+                if s > best_score:
+                    best, best_score = mm, s
+            master_of[v] = best
+
+        # ---- per-machine vertex lists and local indices ------------------
+        order = np.argsort(rep_machines, kind="stable")
+        vert_of_rep = np.repeat(np.arange(n, dtype=np.int64), counts)
+        by_machine_verts = vert_of_rep[order]
+        by_machine_m = rep_machines[order]
+        starts = np.searchsorted(by_machine_m, np.arange(num_machines + 1))
+        machine_vertices: List[np.ndarray] = []
+        for m in range(num_machines):
+            verts = np.sort(by_machine_verts[starts[m] : starts[m + 1]])
+            machine_vertices.append(verts)
+
+        rep_local_idx = np.empty_like(rep_machines, dtype=np.int64)
+        for m in range(num_machines):
+            verts = machine_vertices[m]
+            sel = rep_machines == m
+            rep_local_idx[sel] = np.searchsorted(verts, vert_of_rep[sel])
+
+        # ---- per-machine edge lists --------------------------------------
+        weights = graph.edge_weights()
+        out_deg = graph.out_degrees()
+        machines: List[MachineGraph] = []
+        # one-edge edges grouped by machine
+        one_ids = np.flatnonzero(one).astype(np.int64)
+        one_order = np.argsort(assignment[one_ids], kind="stable")
+        one_sorted = one_ids[one_order]
+        one_m = assignment[one_sorted]
+        one_starts = np.searchsorted(one_m, np.arange(num_machines + 1))
+        # parallel copies grouped by machine
+        par_copy_eid: List[List[int]] = [[] for _ in range(num_machines)]
+        for idx, (s, t) in enumerate(zip(p_src, p_dst)):
+            span = masks[t] | (masks[s] if bidirectional else 0)
+            mm = span
+            while mm:
+                low = mm & -mm
+                par_copy_eid[low.bit_length() - 1].append(
+                    int(parallel_eids_arr[idx])
+                )
+                mm ^= low
+
+        for m in range(num_machines):
+            verts = machine_vertices[m]
+            e_one = one_sorted[one_starts[m] : one_starts[m + 1]]
+            e_par = np.asarray(par_copy_eid[m], dtype=np.int64)
+            eids = np.concatenate([e_one, e_par])
+            eparallel = np.zeros(eids.size, dtype=bool)
+            eparallel[e_one.size :] = True
+            gsrc, gdst = graph.src[eids], graph.dst[eids]
+            esrc = np.searchsorted(verts, gsrc)
+            edst = np.searchsorted(verts, gdst)
+            machines.append(
+                MachineGraph(
+                    machine_id=m,
+                    vertices=verts,
+                    is_master=master_of[verts] == m,
+                    esrc=esrc.astype(np.int64),
+                    edst=edst.astype(np.int64),
+                    eweight=weights[eids],
+                    eparallel=eparallel,
+                    eglobal=eids,
+                    out_deg_global=out_deg[verts],
+                    num_replicas=counts[verts],
+                )
+            )
+
+        one_assign = assignment.astype(np.int32).copy()
+        one_assign[par] = -1
+        return PartitionedGraph(
+            graph=graph,
+            num_machines=num_machines,
+            machines=machines,
+            master_of=master_of,
+            rep_indptr=rep_indptr,
+            rep_machines=rep_machines,
+            rep_local_idx=rep_local_idx,
+            num_replicas=counts,
+            parallel_eids=parallel_eids_arr,
+            assignment=one_assign,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_footprint(self) -> dict:
+        """Estimated per-machine storage of the distributed layout.
+
+        The paper's §3 motivation for keeping most edges in one-edge
+        mode is memory: every parallel-edge copy and every extra replica
+        costs space on each machine it lands on. Returns totals and the
+        per-machine breakdown in bytes (8 B per vertex-array slot, 24 B
+        per edge record: two endpoints + weight).
+        """
+        per_machine = []
+        for mg in self.machines:
+            vertex_bytes = 8 * 4 * mg.num_local_vertices  # data+msg+delta+flags
+            edge_bytes = 24 * mg.num_local_edges
+            per_machine.append(vertex_bytes + edge_bytes)
+        total = float(sum(per_machine))
+        return {
+            "total_bytes": total,
+            "max_machine_bytes": float(max(per_machine)),
+            "mean_machine_bytes": total / self.num_machines,
+            "per_machine_bytes": per_machine,
+            "replica_slots": int(self.num_replicas.sum()),
+            "edge_slots": int(sum(mg.num_local_edges for mg in self.machines)),
+        }
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Internal consistency checks (used heavily by the test suite).
+
+        Raises :class:`PartitionError` on any violation of the paper's
+        placement invariants.
+        """
+        g, P = self.graph, self.num_machines
+        # every vertex: >= 1 replica, exactly one master among replicas
+        if np.any(self.num_replicas < 1):
+            raise PartitionError("vertex with zero replicas")
+        for v in range(g.num_vertices):
+            reps = self.replicas_of(v)
+            if self.master_of[v] not in reps:
+                raise PartitionError(f"master of {v} not among its replicas")
+        # every one-edge edge appears exactly once; parallel edges appear
+        # on every machine hosting the target
+        seen = np.zeros(g.num_edges, dtype=np.int64)
+        for mg in self.machines:
+            np.add.at(seen, mg.eglobal, 1)
+            # local endpoints resolve to the right globals
+            if mg.num_local_edges:
+                if not np.array_equal(mg.vertices[mg.esrc], g.src[mg.eglobal]):
+                    raise PartitionError("local esrc mismatch")
+                if not np.array_equal(mg.vertices[mg.edst], g.dst[mg.eglobal]):
+                    raise PartitionError("local edst mismatch")
+        par_mask = np.zeros(g.num_edges, dtype=bool)
+        par_mask[self.parallel_eids] = True
+        if np.any(seen[~par_mask] != 1):
+            raise PartitionError("a one-edge edge is not placed exactly once")
+        for e in self.parallel_eids.tolist():
+            t = int(g.dst[e])
+            if seen[e] < self.num_replicas[t]:
+                raise PartitionError(
+                    f"parallel edge {e} missing from some replica machine of {t}"
+                )
+        # replica CSR and machine vertex lists agree
+        total = sum(mg.num_local_vertices for mg in self.machines)
+        if total != int(self.num_replicas.sum()):
+            raise PartitionError("replica CSR and machine lists disagree")
+        for v in range(g.num_vertices):
+            lo, hi = self.rep_indptr[v], self.rep_indptr[v + 1]
+            for mm, li in zip(
+                self.rep_machines[lo:hi].tolist(), self.rep_local_idx[lo:hi].tolist()
+            ):
+                if self.machines[mm].vertices[li] != v:
+                    raise PartitionError("rep_local_idx does not point at vertex")

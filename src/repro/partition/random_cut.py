@@ -1,0 +1,24 @@
+"""Random vertex-cut: each edge goes to a uniformly random machine.
+
+This is PowerGraph's default (hash) placement. It balances edge load
+perfectly in expectation but ignores locality entirely, so it produces
+the *highest* replication factor of the vertex-cut family — useful as
+the pessimistic baseline in partitioner ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["random_cut"]
+
+
+def random_cut(
+    graph: DiGraph, num_machines: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Assign each edge independently and uniformly to a machine."""
+    rng = make_rng(seed)
+    return rng.integers(0, num_machines, size=graph.num_edges, dtype=np.int32)

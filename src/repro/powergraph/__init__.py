@@ -1,0 +1,37 @@
+"""Eager-coherency baseline engines (reimplementation of PowerGraph).
+
+These engines realize the *eager data coherency* approach the paper
+argues against (§2.2, ISSUE I–III): replicas of a vertex are an atomic
+unit — every superstep, mirrors ship their partial accumulators to the
+master, the master applies, and the updated value is immediately
+replicated back, costing **two communication rounds and three global
+synchronizations per superstep**. One-edge transmission only.
+
+* :class:`PowerGraphSyncEngine` — the BSP variant (the paper's primary
+  baseline in Figs 9–12);
+* :class:`PowerGraphAsyncEngine` — the asynchronous variant: same eager
+  coherency, no global barriers, fine-grained per-update messaging
+  (modeled; see the class docstring for the approximations).
+"""
+
+from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.powergraph.engine_async import PowerGraphAsyncEngine
+from repro.powergraph.engine_gas import PowerGraphGASSyncEngine
+from repro.powergraph.eager_exchange import EagerExchange
+from repro.powergraph.gas import (
+    GASConnectedComponents,
+    GASPageRank,
+    GASProgram,
+    GASSSSP,
+)
+
+__all__ = [
+    "PowerGraphSyncEngine",
+    "PowerGraphAsyncEngine",
+    "PowerGraphGASSyncEngine",
+    "EagerExchange",
+    "GASProgram",
+    "GASPageRank",
+    "GASConnectedComponents",
+    "GASSSSP",
+]

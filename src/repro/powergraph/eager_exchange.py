@@ -1,0 +1,126 @@
+"""The eager coherency exchange shared by both PowerGraph engines.
+
+One eager superstep moves data exactly as PowerGraph's GAS cycle
+(paper Fig 2a):
+
+1. **gather leg** — every replica with pending messages sends its
+   partial accumulator to the vertex's master (mirror→master traffic:
+   one delta per mirror with an accum);
+2. **apply** — the combined accumulator is folded into the vertex; in
+   the real system the master applies and replicates the new value, here
+   every replica deterministically replays the same Apply on the same
+   total accum (bit-identical state, same traffic charged);
+3. **broadcast leg** — the updated value/activation reaches every other
+   replica of each applied vertex (master→mirror traffic:
+   ``num_replicas − 1`` per applied vertex).
+
+The two engines differ only in *when* this runs and how time/sync is
+charged, so the data movement lives here once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaProgram
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+__all__ = ["EagerExchange", "EagerLegTraffic"]
+
+
+@dataclass(frozen=True)
+class EagerLegTraffic:
+    """Traffic of one eager superstep, split by leg and by machine."""
+
+    gather_bytes: float
+    gather_msgs: int
+    bcast_bytes: float
+    bcast_msgs: int
+    # per-machine message counts (for the Async engine's time model)
+    sent_per_machine: np.ndarray
+
+    @property
+    def total_bytes(self) -> float:
+        return self.gather_bytes + self.bcast_bytes
+
+    @property
+    def total_msgs(self) -> int:
+        return self.gather_msgs + self.bcast_msgs
+
+
+class EagerExchange:
+    """Stages accums globally and replays Apply coherently on all replicas."""
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: DeltaProgram,
+        runtimes: List[MachineRuntime],
+    ) -> None:
+        self.pgraph = pgraph
+        self.program = program
+        self.runtimes = runtimes
+        self._total = np.empty(pgraph.graph.num_vertices, dtype=np.float64)
+        self._has = np.empty(pgraph.graph.num_vertices, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def collect(self) -> EagerLegTraffic:
+        """Drain all inboxes into the global accumulator; price the legs."""
+        alg = self.program.algebra
+        n = self.pgraph.graph.num_vertices
+        self._total.fill(alg.identity)
+        self._has.fill(False)
+        gather_msgs = 0
+        sent = np.zeros(self.pgraph.num_machines, dtype=np.int64)
+        for rt in self.runtimes:
+            idx, accum = rt.take_ready()
+            if idx.size == 0:
+                continue
+            gids = rt.mg.vertices[idx]
+            alg.combine_at(self._total, gids, accum)
+            self._has[gids] = True
+            n_mirror = int(np.count_nonzero(~rt.mg.is_master[idx]))
+            gather_msgs += n_mirror
+            sent[rt.mg.machine_id] += n_mirror
+        # broadcast leg: every applied vertex's update reaches its other
+        # replicas (charged to the master's machine)
+        applied = np.flatnonzero(self._has)
+        bcast_per_vertex = self.pgraph.num_replicas[applied] - 1
+        bcast_msgs = int(bcast_per_vertex.sum())
+        masters = self.pgraph.master_of[applied]
+        np.add.at(sent, masters, bcast_per_vertex)
+        b = self.program.delta_bytes
+        return EagerLegTraffic(
+            gather_bytes=float(gather_msgs * b),
+            gather_msgs=gather_msgs,
+            bcast_bytes=float(bcast_msgs * b),
+            bcast_msgs=bcast_msgs,
+            sent_per_machine=sent,
+        )
+
+    @property
+    def anything_pending(self) -> bool:
+        """Did :meth:`collect` stage any accumulator?"""
+        return bool(self._has.any())
+
+    def apply_all(self, track_delta: bool = False) -> List[tuple]:
+        """Replay Apply+Scatter of the staged accums on every replica.
+
+        Returns per-machine ``(edges, applies)`` work tuples for the
+        caller to charge as compute.
+        """
+        work = []
+        for rt in self.runtimes:
+            sel = self._has[rt.mg.vertices]
+            idx = np.flatnonzero(sel)
+            if idx.size:
+                accum = self._total[rt.mg.vertices[idx]]
+                edges, _ = rt.apply_and_scatter(idx, accum, track_delta)
+            else:
+                edges = 0
+            work.append((edges, int(idx.size)))
+        return work

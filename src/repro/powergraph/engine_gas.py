@@ -1,0 +1,205 @@
+"""Classic full-gather GAS Sync engine (the native PowerGraph loop).
+
+Each superstep, every replica of an active vertex *pulls* over its local
+in-edges, mirrors ship partial accumulators to the master, every replica
+applies the combined accumulator (eager coherency), and changed vertices
+activate their out-neighbours. Exactly the eager cost structure of §2.2:
+two communication rounds and three global synchronizations per
+superstep — but unlike the delta engines, the gather recomputes the full
+neighbour aggregate every time a vertex activates, which is why standard
+GAS PageRank does strictly more edge work than PageRank-Delta (measured
+in ``benchmarks/bench_gas_baseline.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulator import ClusterSim
+from repro.errors import ConvergenceError, EngineError
+from repro.partition.partitioned_graph import MachineGraph, PartitionedGraph
+from repro.powergraph.gas import GASProgram
+from repro.runtime.result import EngineResult
+
+__all__ = ["PowerGraphGASSyncEngine"]
+
+
+class _GASMachine:
+    """Per-machine state for the pull engine: data + local in-CSR."""
+
+    def __init__(self, mg: MachineGraph, program: GASProgram) -> None:
+        self.mg = mg
+        self.state = program.make_state(mg)
+        n = mg.num_local_vertices
+        order = np.argsort(mg.edst, kind="stable").astype(np.int64)
+        self.in_eorder = order
+        self.in_indptr = np.searchsorted(mg.edst[order], np.arange(n + 1)).astype(
+            np.int64
+        )
+        order_out = np.argsort(mg.esrc, kind="stable").astype(np.int64)
+        self.out_eorder = order_out
+        self.out_indptr = np.searchsorted(
+            mg.esrc[order_out], np.arange(n + 1)
+        ).astype(np.int64)
+
+    def _edges_of(self, idx: np.ndarray, indptr, eorder) -> np.ndarray:
+        starts = indptr[idx]
+        counts = indptr[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        base = np.repeat(starts, counts)
+        reps = np.repeat(np.cumsum(counts) - counts, counts)
+        return eorder[base + (np.arange(total) - reps)]
+
+    def gather(self, program: GASProgram, active_local: np.ndarray):
+        """Pull over local in-edges of the active local vertices.
+
+        Returns ``(local idx with in-edges, partial accums, edges pulled)``.
+        """
+        idx = np.flatnonzero(active_local)
+        e_sel = self._edges_of(idx, self.in_indptr, self.in_eorder)
+        if e_sel.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0), 0
+        vals = program.gather_values(self.mg, self.state, e_sel)
+        alg = program.algebra
+        acc = np.full(self.mg.num_local_vertices, alg.identity)
+        tgt = self.mg.edst[e_sel]
+        alg.combine_at(acc, tgt, vals)
+        touched = np.unique(tgt)
+        return touched, acc[touched], int(e_sel.size)
+
+    def out_targets(self, idx: np.ndarray) -> np.ndarray:
+        """Global ids reached by the out-edges of local vertices ``idx``."""
+        e_sel = self._edges_of(idx, self.out_indptr, self.out_eorder)
+        if e_sel.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.mg.vertices[self.mg.edst[e_sel]]
+
+
+class PowerGraphGASSyncEngine:
+    """Eager BSP engine for classic pull-style GAS programs."""
+
+    name = "powergraph-gas-sync"
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: GASProgram,
+        network: Optional[NetworkModel] = None,
+        max_supersteps: int = 100_000,
+    ) -> None:
+        program.validate()
+        if program.needs_weights and pgraph.graph.weights is None:
+            raise EngineError(
+                f"program {program.name!r} needs edge weights but the graph "
+                f"is unweighted"
+            )
+        self.pgraph = pgraph
+        self.program = program
+        self.max_supersteps = max_supersteps
+        self.sim = ClusterSim(pgraph.num_machines, network=network)
+        self.machines: List[_GASMachine] = [
+            _GASMachine(mg, program) for mg in pgraph.machines
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> EngineResult:
+        sim = self.sim
+        prog = self.program
+        alg = prog.algebra
+        n = self.pgraph.graph.num_vertices
+
+        # pull semantics: an "active" vertex re-gathers its in-edges, so
+        # the initial frontier must also cover the out-neighbours of the
+        # initially-active vertices (they are who can see the seed data)
+        active = np.zeros(n, dtype=bool)
+        for gm in self.machines:
+            seed = prog.initially_active(gm.mg)
+            active[gm.mg.vertices[seed]] = True
+            active[gm.out_targets(np.flatnonzero(seed))] = True
+
+        total = np.empty(n, dtype=np.float64)
+        has = np.empty(n, dtype=bool)
+        converged = False
+        for _ in range(self.max_supersteps):
+            if not active.any():
+                converged = True
+                break
+            # ---- gather: pull on every replica, combine at master -------
+            total.fill(alg.identity)
+            has.fill(False)
+            gather_msgs = 0
+            for gm in self.machines:
+                local_active = active[gm.mg.vertices]
+                idx, acc, edges = gm.gather(prog, local_active)
+                sim.add_compute(gm.mg.machine_id, edges, 0)
+                if idx.size:
+                    gids = gm.mg.vertices[idx]
+                    alg.combine_at(total, gids, acc)
+                    has[gids] = True
+                    gather_msgs += int(np.count_nonzero(~gm.mg.is_master[idx]))
+            vol1 = gather_msgs * prog.value_bytes
+            sim.bulk_transfer(vol1, gather_msgs)
+            sim.exchange_round(vol1)
+            sim.barrier()  # sync #1
+
+            # active vertices with no in-edges anywhere still "apply" the
+            # identity accumulator (e.g. the PR base-rank refresh)
+            has |= active
+
+            # ---- apply on every replica + broadcast ----------------------
+            applied = np.flatnonzero(has)
+            bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
+            next_active = np.zeros(n, dtype=bool)
+            for gm in self.machines:
+                sel = has[gm.mg.vertices]
+                idx = np.flatnonzero(sel)
+                if idx.size == 0:
+                    continue
+                changed = prog.apply(
+                    gm.mg, gm.state, idx, total[gm.mg.vertices[idx]]
+                )
+                sim.add_compute(gm.mg.machine_id, 0, idx.size)
+                fired = idx[changed]
+                if fired.size:
+                    next_active[gm.out_targets(fired)] = True
+            vol2 = bcast * prog.value_bytes
+            sim.bulk_transfer(vol2, bcast)
+            sim.exchange_round(vol2)
+            sim.barrier()  # sync #2
+
+            # ---- scatter/activation already folded in ---------------------
+            sim.barrier()  # sync #3
+            sim.stats.supersteps += 1
+            active = next_active
+
+        sim.stats.converged = converged
+        if not converged:
+            raise ConvergenceError(
+                f"{self.name}/{prog.name} did not converge within "
+                f"{self.max_supersteps} supersteps"
+            )
+        values = np.empty(n, dtype=np.float64)
+        lo = np.full(n, np.inf)
+        hi = np.full(n, -np.inf)
+        for gm in self.machines:
+            vals = prog.values(gm.mg, gm.state)
+            masters = gm.mg.is_master
+            values[gm.mg.vertices[masters]] = vals[masters]
+            np.minimum.at(lo, gm.mg.vertices, vals)
+            np.maximum.at(hi, gm.mg.vertices, vals)
+        with np.errstate(invalid="ignore"):
+            diff = hi - lo
+        finite = np.isfinite(diff)
+        disagreement = float(diff[finite].max()) if finite.any() else 0.0
+        return EngineResult(
+            values=values,
+            stats=sim.stats,
+            engine=self.name,
+            algorithm=prog.name,
+            replica_max_disagreement=disagreement,
+        )

@@ -1,0 +1,55 @@
+"""PowerGraph Sync: the eager BSP baseline (paper's primary comparator).
+
+Each superstep performs the full eager GAS cycle with the costs the
+paper attributes to it (§2.2): **two communication rounds** (mirror→
+master accumulators, master→mirror updated data) and **three global
+synchronizations** (after gather, after apply, after scatter). Changes
+to vertex data are batch-processed but still eagerly replicated every
+superstep — replicas never diverge.
+"""
+
+from __future__ import annotations
+
+from repro.powergraph.eager_exchange import EagerExchange
+from repro.runtime.base_engine import BaseEngine
+
+__all__ = ["PowerGraphSyncEngine"]
+
+
+class PowerGraphSyncEngine(BaseEngine):
+    """Eager synchronous (BSP) engine."""
+
+    name = "powergraph-sync"
+
+    def _execute(self) -> bool:
+        sim = self.sim
+        exchange = EagerExchange(self.pgraph, self.program, self.runtimes)
+        self._bootstrap(track_delta=False)
+
+        for _ in range(self.max_supersteps):
+            # ---- gather leg: mirrors ship accums to masters -----------
+            traffic = exchange.collect()
+            sim.bulk_transfer(traffic.gather_bytes, traffic.gather_msgs)
+            sim.exchange_round(traffic.gather_bytes)
+            sim.barrier()  # sync #1 (gather complete)
+            if not exchange.anything_pending:
+                return True
+
+            # ---- apply on every replica + broadcast leg ---------------
+            work = exchange.apply_all(track_delta=False)
+            for machine_id, (edges, applies) in enumerate(work):
+                sim.add_compute(machine_id, edges, applies)
+            sim.bulk_transfer(traffic.bcast_bytes, traffic.bcast_msgs)
+            sim.exchange_round(traffic.bcast_bytes)
+            sim.barrier()  # sync #2 (apply/replication complete)
+
+            # ---- scatter already ran fused with apply -----------------
+            sim.barrier()  # sync #3 (scatter complete)
+            sim.stats.supersteps += 1
+            if self.trace:
+                sim.stats.snapshot(
+                    active=self._global_active_count(),
+                    gather_msgs=traffic.gather_msgs,
+                    bcast_msgs=traffic.bcast_msgs,
+                )
+        return False

@@ -1,0 +1,174 @@
+"""Classic Gather-Apply-Scatter programs (paper §2.1).
+
+The delta programs in :mod:`repro.algorithms` are the *push-style*
+formulation LazyGraph requires (§3.1). PowerGraph's native abstraction
+is different: each superstep, an active vertex **gathers** over all its
+in-edges (recomputing the full neighbour aggregate, not consuming
+deltas), **applies** the combined accumulator, and **scatters**
+activation to out-neighbours. The paper notes the consequence: "for
+PageRank, LazyAsync uses a variant of PageRank (PageRank-Delta)" while
+PowerGraph runs the standard full-gather program.
+
+This module provides the classic abstraction plus the standard programs,
+so the baseline comparison can be run both ways (see
+``benchmarks/bench_gas_baseline.py``: the full-gather baseline is
+strictly more expensive, which makes the Fig 9 speedups measured against
+the delta baseline *conservative*).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaAlgebra, MIN_ALGEBRA, SUM_ALGEBRA
+from repro.errors import AlgorithmError
+from repro.partition.partitioned_graph import MachineGraph
+
+__all__ = [
+    "GASProgram",
+    "GASPageRank",
+    "GASConnectedComponents",
+    "GASSSSP",
+]
+
+
+class GASProgram(abc.ABC):
+    """A classic pull-style GAS vertex program.
+
+    Hooks (all vectorized over one machine's local arrays):
+
+    * :meth:`make_state` — allocate per-vertex data (``vdata``).
+    * :meth:`gather_values` — per-edge gather contribution computed from
+      the *source end's current data* (the pull).
+    * ``algebra`` — the commutative/associative Sum combining gathers.
+    * :meth:`apply` — fold the full accumulator; report which vertices
+      changed enough to activate their out-neighbours.
+    * :meth:`initially_active` — the starting frontier.
+    """
+
+    name: str = "abstract-gas"
+    algebra: DeltaAlgebra = SUM_ALGEBRA
+    value_bytes: int = 16
+    requires_symmetric: bool = False
+    needs_weights: bool = False
+
+    @abc.abstractmethod
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        """Allocate this machine's vertex data."""
+
+    @abc.abstractmethod
+    def initially_active(self, mg: MachineGraph) -> np.ndarray:
+        """Boolean mask of initially-active local vertices."""
+
+    @abc.abstractmethod
+    def gather_values(
+        self,
+        mg: MachineGraph,
+        state: Dict[str, np.ndarray],
+        edge_sel: np.ndarray,
+    ) -> np.ndarray:
+        """Per-edge contribution pulled from each edge's source replica."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        mg: MachineGraph,
+        state: Dict[str, np.ndarray],
+        idx: np.ndarray,
+        accum: np.ndarray,
+    ) -> np.ndarray:
+        """Fold accumulators; return a bool mask (aligned with ``idx``)
+        of vertices whose change activates their out-neighbours."""
+
+    def values(self, mg: MachineGraph, state: Dict[str, np.ndarray]) -> np.ndarray:
+        """Result values (default ``state['vdata']``)."""
+        return state["vdata"]
+
+    def validate(self) -> None:
+        if self.value_bytes <= 0:
+            raise AlgorithmError(f"{self.name}: value_bytes must be positive")
+
+
+class GASPageRank(GASProgram):
+    """Standard full-gather PageRank (what PowerGraph's toolkit runs)."""
+
+    name = "gas-pagerank"
+    algebra = SUM_ALGEBRA
+
+    def __init__(self, damping: float = 0.85, tolerance: float = 1e-3) -> None:
+        if not 0.0 < damping < 1.0:
+            raise AlgorithmError(f"damping must be in (0, 1), got {damping}")
+        if tolerance <= 0:
+            raise AlgorithmError(f"tolerance must be > 0, got {tolerance}")
+        self.damping = damping
+        self.tolerance = tolerance
+
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        return {"vdata": np.full(mg.num_local_vertices, 1.0 - self.damping)}
+
+    def initially_active(self, mg: MachineGraph) -> np.ndarray:
+        return np.ones(mg.num_local_vertices, dtype=bool)
+
+    def gather_values(self, mg, state, edge_sel):
+        src = mg.esrc[edge_sel]
+        return state["vdata"][src] / mg.out_deg_global[src]
+
+    def apply(self, mg, state, idx, accum):
+        new = (1.0 - self.damping) + self.damping * accum
+        changed = np.abs(new - state["vdata"][idx]) > self.tolerance
+        state["vdata"][idx] = new
+        return changed
+
+
+class GASConnectedComponents(GASProgram):
+    """Min-label propagation in classic pull form."""
+
+    name = "gas-cc"
+    algebra = MIN_ALGEBRA
+    requires_symmetric = True
+
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        return {"vdata": mg.vertices.astype(np.float64)}
+
+    def initially_active(self, mg: MachineGraph) -> np.ndarray:
+        return np.ones(mg.num_local_vertices, dtype=bool)
+
+    def gather_values(self, mg, state, edge_sel):
+        return state["vdata"][mg.esrc[edge_sel]]
+
+    def apply(self, mg, state, idx, accum):
+        improved = accum < state["vdata"][idx]
+        state["vdata"][idx] = np.minimum(state["vdata"][idx], accum)
+        return improved
+
+
+class GASSSSP(GASProgram):
+    """Bellman-Ford relaxation in classic pull form."""
+
+    name = "gas-sssp"
+    algebra = MIN_ALGEBRA
+    needs_weights = True
+
+    def __init__(self, source: int = 0) -> None:
+        if source < 0:
+            raise AlgorithmError(f"source must be >= 0, got {source}")
+        self.source = source
+
+    def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:
+        dist = np.full(mg.num_local_vertices, np.inf)
+        dist[mg.vertices == self.source] = 0.0
+        return {"vdata": dist}
+
+    def initially_active(self, mg: MachineGraph) -> np.ndarray:
+        return mg.vertices == self.source
+
+    def gather_values(self, mg, state, edge_sel):
+        return state["vdata"][mg.esrc[edge_sel]] + mg.eweight[edge_sel]
+
+    def apply(self, mg, state, idx, accum):
+        improved = accum < state["vdata"][idx]
+        state["vdata"][idx] = np.minimum(state["vdata"][idx], accum)
+        return improved

@@ -1,0 +1,137 @@
+"""One-call public entry point: ``repro.run(...)``.
+
+Wires the whole pipeline — dataset lookup, graph preparation
+(symmetrization / weights, per the algorithm's declared needs),
+vertex-cut partitioning, optional edge splitting, engine construction —
+behind a single function, mirroring how the paper's toolkits are
+invoked (``./sssp --graph road_USA --engine lazy``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.algorithms import make_program
+from repro.api.vertex_program import DeltaProgram
+from repro.cluster.network import NetworkModel
+from repro.core.interval_model import IntervalModel, make_interval_model
+from repro.core.lazy_block_async import LazyBlockAsyncEngine
+from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
+from repro.core.transmission import build_lazy_graph
+from repro.errors import ConfigError
+from repro.graph.datasets import load_dataset
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import attach_uniform_weights
+from repro.partition.edge_splitter import EdgeSplitConfig
+from repro.powergraph.engine_async import PowerGraphAsyncEngine
+from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.runtime.result import EngineResult
+from repro.utils.rng import derive_seed
+
+__all__ = ["run", "prepare_graph", "ENGINE_NAMES"]
+
+_ENGINES = {
+    "powergraph-sync": PowerGraphSyncEngine,
+    "powergraph-async": PowerGraphAsyncEngine,
+    "lazy-block": LazyBlockAsyncEngine,
+    "lazy-vertex": LazyVertexAsyncEngine,
+}
+
+ENGINE_NAMES = tuple(sorted(_ENGINES))
+
+
+def prepare_graph(
+    graph: Union[str, DiGraph],
+    program: DeltaProgram,
+    seed: int = 0,
+) -> DiGraph:
+    """Resolve and adapt a graph to a program's declared requirements.
+
+    * a string resolves through the dataset registry (weighted variant
+      when the program needs weights);
+    * ``requires_symmetric`` programs get the symmetrized graph;
+    * ``needs_weights`` programs get deterministic Uniform(1, 10)
+      weights attached when the input is unweighted.
+    """
+    if isinstance(graph, str):
+        g = load_dataset(graph, weighted=program.needs_weights)
+    else:
+        g = graph
+    if program.requires_symmetric:
+        sym = g.symmetrized()
+        sym.name = g.name
+        g = sym
+    if program.needs_weights and g.weights is None:
+        g = attach_uniform_weights(g, seed=derive_seed(seed, "weights"))
+    return g
+
+
+def run(
+    graph: Union[str, DiGraph],
+    algorithm: Union[str, DeltaProgram],
+    engine: str = "lazy-block",
+    machines: int = 48,
+    partitioner: str = "coordinated",
+    interval: Union[str, IntervalModel, None] = None,
+    coherency_mode: str = "dynamic",
+    split: Optional[EdgeSplitConfig] = None,
+    network: Optional[NetworkModel] = None,
+    seed: int = 0,
+    max_supersteps: int = 100_000,
+    trace: bool = False,
+    **algorithm_params,
+) -> EngineResult:
+    """Run one algorithm on one graph under one engine; return the result.
+
+    Parameters
+    ----------
+    graph:
+        A registered dataset name (see :func:`repro.dataset_names`) or a
+        :class:`~repro.graph.digraph.DiGraph`.
+    algorithm:
+        A program name (``pagerank``/``sssp``/``cc``/``kcore``/``bfs``)
+        or a :class:`~repro.api.vertex_program.DeltaProgram` instance.
+        Extra keyword arguments go to the program constructor
+        (e.g. ``k=10``, ``tolerance=1e-4``, ``source=7``).
+    engine:
+        One of :data:`ENGINE_NAMES`.
+    interval:
+        Interval-model name or instance (lazy-block only; default the
+        paper's adaptive rule).
+    coherency_mode:
+        ``dynamic`` / ``a2a`` / ``m2m`` (lazy engines only).
+    split:
+        Edge-splitter configuration enabling parallel-edges; ``None``
+        keeps every edge in one-edge mode.
+    """
+    if isinstance(algorithm, DeltaProgram):
+        if algorithm_params:
+            raise ConfigError(
+                "algorithm_params only apply when algorithm is given by name"
+            )
+        program = algorithm
+    else:
+        program = make_program(algorithm, **algorithm_params)
+    try:
+        engine_cls = _ENGINES[engine]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
+        ) from None
+
+    g = prepare_graph(graph, program, seed=seed)
+    pgraph = build_lazy_graph(
+        g, machines, partitioner=partitioner, split_config=split, seed=seed
+    )
+
+    kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
+    if engine == "lazy-block":
+        if interval is not None and not isinstance(interval, IntervalModel):
+            interval = make_interval_model(interval)
+        kwargs["interval_model"] = interval
+        kwargs["coherency_mode"] = coherency_mode
+    elif engine == "lazy-vertex":
+        kwargs["coherency_mode"] = coherency_mode
+    elif interval is not None:
+        raise ConfigError(f"engine {engine!r} does not take an interval model")
+    return engine_cls(pgraph, program, **kwargs).run()

@@ -1,0 +1,16 @@
+"""Shared engine runtime: per-machine buffers, kernels, results.
+
+Both engine families (eager :mod:`repro.powergraph` and lazy
+:mod:`repro.core`) drive the same per-machine runtime —
+:class:`MachineRuntime` holds the paper's runtime variables
+(``vdata``, ``message[v]``, ``deltaMsg[v]``, ``isActive[v]``) and the
+vectorized Apply/Scatter kernels; :class:`EngineResult` assembles global
+results and exposes the replica-agreement check used to test the
+paper's §3.5 correctness theorem.
+"""
+
+from repro.runtime.machine_runtime import MachineRuntime
+from repro.runtime.result import EngineResult
+from repro.runtime.base_engine import BaseEngine
+
+__all__ = ["MachineRuntime", "EngineResult", "BaseEngine"]

@@ -1,0 +1,108 @@
+"""Common engine scaffolding shared by the eager and lazy families."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaProgram
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulator import ClusterSim
+from repro.errors import ConvergenceError, EngineError
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+from repro.runtime.result import EngineResult, collect_values, replica_disagreement
+
+__all__ = ["BaseEngine"]
+
+_DEFAULT_MAX_SUPERSTEPS = 100_000
+
+
+class BaseEngine(abc.ABC):
+    """Shared setup/teardown for engines running on the cluster simulator.
+
+    Subclasses implement :meth:`_execute`, driving their machines through
+    ``self.sim`` (for all accounting) and ``self.runtimes`` (per-machine
+    buffers/kernels). ``run()`` wraps execution with bootstrap, result
+    assembly and the replica-agreement measurement.
+    """
+
+    name = "abstract-engine"
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        program: DeltaProgram,
+        network: Optional[NetworkModel] = None,
+        max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS,
+        trace: bool = False,
+    ) -> None:
+        program.validate()
+        if program.needs_weights and pgraph.graph.weights is None:
+            raise EngineError(
+                f"program {program.name!r} needs edge weights but the graph "
+                f"is unweighted (use attach_uniform_weights or weighted=True)"
+            )
+        if max_supersteps < 1:
+            raise EngineError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self.pgraph = pgraph
+        self.program = program
+        self.max_supersteps = max_supersteps
+        self.trace = trace
+        self.sim = ClusterSim(pgraph.num_machines, network=network)
+        self.runtimes: List[MachineRuntime] = [
+            MachineRuntime(mg, program) for mg in pgraph.machines
+        ]
+
+    # ------------------------------------------------------------------
+    def _bootstrap(self, track_delta: bool) -> None:
+        """Run initial activation on every machine (charged as compute).
+
+        ``track_delta`` must match how the engine treats scatter
+        messages: lazy engines fold one-edge messages into ``deltaMsg``
+        from the very first message on.
+        """
+        for rt in self.runtimes:
+            init_delta, active = self.program.initial_scatter(rt.mg, rt.state)
+            idx = np.flatnonzero(active)
+            if init_delta is None:
+                rt.has_msg[idx] = True
+                edges = 0
+            else:
+                edges = rt.scatter(idx, init_delta[idx], track_delta=track_delta)
+            self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+
+    def _globally_idle(self) -> bool:
+        """True when no machine has pending messages."""
+        return all(rt.num_active == 0 for rt in self.runtimes)
+
+    def _global_active_count(self) -> int:
+        """Total pending-apply vertices across machines (replica-counted)."""
+        return sum(rt.num_active for rt in self.runtimes)
+
+    # ------------------------------------------------------------------
+    def run(self) -> EngineResult:
+        """Execute to convergence (or ``max_supersteps``) and collect results."""
+        converged = self._execute()
+        self.sim.stats.converged = converged
+        if not converged:
+            raise ConvergenceError(
+                f"{self.name}/{self.program.name} did not converge within "
+                f"{self.max_supersteps} supersteps "
+                f"({self.sim.stats.summary()})"
+            )
+        return EngineResult(
+            values=collect_values(self.pgraph, self.runtimes),
+            stats=self.sim.stats,
+            engine=self.name,
+            algorithm=self.program.name,
+            replica_max_disagreement=replica_disagreement(
+                self.pgraph, self.runtimes
+            ),
+        )
+
+    @abc.abstractmethod
+    def _execute(self) -> bool:
+        """Drive the machines to convergence; return True if converged."""

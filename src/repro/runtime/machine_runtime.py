@@ -1,0 +1,131 @@
+"""Per-machine runtime state and the vectorized graph operators.
+
+This is the runtime half of the paper's §3.2 split: the engine-side
+variables kept for every replica ``v`` on every machine —
+
+* ``state`` (program arrays incl. ``vdata[v]``),
+* ``msg`` / ``has_msg``      — ``message[v]``, the ⊕-accumulated inbox,
+* ``delta_msg`` / ``has_delta`` — ``deltaMsg[v]``, the one-edge-received
+  accumulation forwarded at coherency points,
+* ``has_msg`` doubling as ``isActive[v]`` (a vertex with a pending
+  message is exactly a vertex scheduled to run Apply)
+
+— plus the two fused low-level operators ``Apply`` and
+``ScatterGatherMsg`` as vectorized kernels. Messages to *local*
+neighbours are direct writes into the target's ``msg`` (and, for
+one-edge-mode edges only, ``deltaMsg``) exactly as the paper's
+``ScatterGatherMsg`` specifies; parallel-edge messages skip ``deltaMsg``
+so they are never re-sent at a coherency point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.api.vertex_program import DeltaProgram
+from repro.partition.partitioned_graph import MachineGraph
+
+__all__ = ["MachineRuntime"]
+
+
+class MachineRuntime:
+    """One machine's buffers + kernels for one program run."""
+
+    def __init__(self, mg: MachineGraph, program: DeltaProgram) -> None:
+        self.mg = mg
+        self.program = program
+        self.algebra = program.algebra
+        self.state: Dict[str, np.ndarray] = program.make_state(mg)
+        n = mg.num_local_vertices
+        ident = self.algebra.identity
+        self.msg = np.full(n, ident, dtype=np.float64)
+        self.has_msg = np.zeros(n, dtype=bool)
+        self.delta_msg = np.full(n, ident, dtype=np.float64)
+        self.has_delta = np.zeros(n, dtype=bool)
+        # local out-CSR: local edges grouped by local source index
+        order = np.argsort(mg.esrc, kind="stable").astype(np.int64)
+        self.eorder = order
+        self.out_indptr = np.searchsorted(
+            mg.esrc[order], np.arange(n + 1)
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        """Vertices scheduled for Apply (pending messages)."""
+        return int(np.count_nonzero(self.has_msg))
+
+    def bootstrap(self) -> int:
+        """Run the program's initial activation; returns edge traversals."""
+        init_delta, active = self.program.initial_scatter(self.mg, self.state)
+        idx = np.flatnonzero(active)
+        if init_delta is None:
+            # activation without a message: Apply runs with identity accum
+            self.has_msg[idx] = True
+            return 0
+        return self.scatter(idx, init_delta[idx], track_delta=True)
+
+    # ------------------------------------------------------------------
+    def scatter(
+        self, idx: np.ndarray, delta_out: np.ndarray, track_delta: bool
+    ) -> int:
+        """Push out-deltas of the vertices ``idx`` along local out-edges.
+
+        Local writes only — remote delivery is the coherency machinery's
+        job. One-edge-mode messages are folded into the targets'
+        ``deltaMsg`` when ``track_delta`` (lazy engines); parallel-edge
+        messages never are. Returns the number of edges traversed.
+        """
+        if idx.size == 0:
+            return 0
+        starts = self.out_indptr[idx]
+        counts = self.out_indptr[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return 0
+        # flatten [starts[i], starts[i]+counts[i]) ranges
+        base = np.repeat(starts, counts)
+        reps = np.repeat(np.cumsum(counts) - counts, counts)
+        e_sel = self.eorder[base + (np.arange(total) - reps)]
+        delta_per_edge = np.repeat(delta_out, counts)
+        msgv = self.program.edge_message(self.mg, e_sel, delta_per_edge)
+        tgt = self.mg.edst[e_sel]
+        self.algebra.combine_at(self.msg, tgt, msgv)
+        self.has_msg[tgt] = True
+        if track_delta:
+            one_edge = ~self.mg.eparallel[e_sel]
+            if one_edge.any():
+                t1 = tgt[one_edge]
+                self.algebra.combine_at(self.delta_msg, t1, msgv[one_edge])
+                self.has_delta[t1] = True
+        return total
+
+    def take_ready(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain the inbox: (local indices, combined accums); inbox cleared."""
+        idx = np.flatnonzero(self.has_msg)
+        accum = self.msg[idx].copy()
+        self.msg[idx] = self.algebra.identity
+        self.has_msg[idx] = False
+        return idx, accum
+
+    def apply_and_scatter(
+        self, idx: np.ndarray, accum: np.ndarray, track_delta: bool
+    ) -> Tuple[int, int]:
+        """Apply accums then scatter fired deltas; returns (edges, fires)."""
+        if idx.size == 0:
+            return 0, 0
+        delta_out, fire = self.program.apply(self.mg, self.state, idx, accum)
+        fired = idx[fire]
+        edges = self.scatter(fired, delta_out[fire], track_delta)
+        return edges, int(fired.size)
+
+    def clear_deltas(self, idx: np.ndarray) -> None:
+        """Reset ``deltaMsg`` after a coherency exchange."""
+        self.delta_msg[idx] = self.algebra.identity
+        self.has_delta[idx] = False
+
+    def values(self) -> np.ndarray:
+        """Program result values for this machine's local vertices."""
+        return self.program.values(self.mg, self.state)

@@ -1,0 +1,82 @@
+"""Engine run results: global values, stats, replica-agreement checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cluster.stats import RunStats
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+__all__ = ["EngineResult", "collect_values", "replica_disagreement"]
+
+
+def collect_values(
+    pgraph: PartitionedGraph, runtimes: List[MachineRuntime]
+) -> np.ndarray:
+    """Assemble per-global-vertex values from each vertex's master replica."""
+    n = pgraph.graph.num_vertices
+    out = np.empty(n, dtype=np.float64)
+    for rt in runtimes:
+        vals = rt.values()
+        masters = rt.mg.is_master
+        out[rt.mg.vertices[masters]] = vals[masters]
+    return out
+
+
+def replica_disagreement(
+    pgraph: PartitionedGraph, runtimes: List[MachineRuntime]
+) -> float:
+    """Max |value difference| across replicas of any vertex.
+
+    The paper's §3.5 theorem says this must be 0 (up to float noise for
+    PageRank) after the final data coherency point — the engine test
+    suite asserts it on every converged run.
+    """
+    n = pgraph.graph.num_vertices
+    lo = np.full(n, np.inf)
+    hi = np.full(n, -np.inf)
+    for rt in runtimes:
+        vals = rt.values()
+        gids = rt.mg.vertices
+        np.minimum.at(lo, gids, vals)
+        np.maximum.at(hi, gids, vals)
+    with np.errstate(invalid="ignore"):
+        diff = hi - lo  # inf-inf (all replicas at ∞, e.g. unreachable
+        # SSSP vertices) yields nan: those replicas agree by definition
+    finite = np.isfinite(diff)
+    return float(diff[finite].max()) if finite.any() else 0.0
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    values:
+        Per-global-vertex converged values (master replicas' view).
+    stats:
+        The run's :class:`~repro.cluster.stats.RunStats` counters.
+    engine:
+        Engine name (``"powergraph-sync"``, ``"lazy-block"``, …).
+    algorithm:
+        Program name.
+    replica_max_disagreement:
+        Measured max cross-replica value gap at termination.
+    """
+
+    values: np.ndarray
+    stats: RunStats
+    engine: str
+    algorithm: str
+    replica_max_disagreement: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EngineResult({self.engine}/{self.algorithm}: "
+            f"{self.stats.summary()})"
+        )

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers shared across the library.
+
+Keeping these in one place gives consistent, informative error messages
+from public entry points while the numeric kernels stay assertion-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_type(
+    value: Any, types: Union[Type, Tuple[Type, ...]], name: str
+) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value

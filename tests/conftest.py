@@ -1,0 +1,71 @@
+"""Shared fixtures: small deterministic graphs and partitioned builds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    attach_uniform_weights,
+    erdos_renyi_graph,
+    powerlaw_graph,
+    road_grid_graph,
+    web_graph,
+)
+from repro.partition.base import partition_graph
+from repro.partition.partitioned_graph import PartitionedGraph
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> DiGraph:
+    """A 6-vertex hand-built graph with a cycle, a tail, and a loner.
+
+    0 -> 1 -> 2 -> 0 (cycle), 2 -> 3 -> 4 (tail), 5 isolated.
+    """
+    src = np.array([0, 1, 2, 2, 3])
+    dst = np.array([1, 2, 0, 3, 4])
+    return DiGraph(6, src, dst, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def er_graph() -> DiGraph:
+    """A 200-vertex Erdős–Rényi graph (directed, unweighted)."""
+    return erdos_renyi_graph(200, 900, seed=11)
+
+
+@pytest.fixture(scope="session")
+def er_weighted(er_graph) -> DiGraph:
+    """Weighted variant of :func:`er_graph`."""
+    return attach_uniform_weights(er_graph, 1.0, 5.0, seed=13)
+
+
+@pytest.fixture(scope="session")
+def er_symmetric(er_graph) -> DiGraph:
+    """Symmetrized variant of :func:`er_graph` (for CC / k-core)."""
+    return er_graph.symmetrized()
+
+
+@pytest.fixture(scope="session")
+def road_graph() -> DiGraph:
+    """A small road-network-like graph (high diameter)."""
+    return road_grid_graph(16, 16, extra_edge_fraction=0.25, seed=5)
+
+
+@pytest.fixture(scope="session")
+def social_graph() -> DiGraph:
+    """A small power-law (R-MAT) graph."""
+    return powerlaw_graph(250, 2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def webby_graph() -> DiGraph:
+    """A small copying-model web graph."""
+    return web_graph(250, 6.0, seed=9)
+
+
+@pytest.fixture(scope="session")
+def er_partitioned(er_graph) -> PartitionedGraph:
+    """The ER graph coordinated-cut onto 6 machines."""
+    assignment = partition_graph(er_graph, 6, "coordinated", seed=3)
+    return PartitionedGraph.build(er_graph, assignment, 6)

@@ -1,0 +1,131 @@
+"""Counter invariants: the measured quantities behind Figs 10–11.
+
+These pin the paper's cost structure: eager Sync performs exactly three
+global synchronizations and two communication rounds per superstep;
+LazyBlockAsync performs exactly one synchronization per coherency point;
+traffic is conserved and consistent with the replica topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ConnectedComponentsProgram,
+    KCoreProgram,
+    PageRankDeltaProgram,
+    SSSPProgram,
+)
+from repro.core import LazyBlockAsyncEngine, LazyVertexAsyncEngine, build_lazy_graph
+from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
+
+
+@pytest.fixture(scope="module")
+def pg(er_weighted):
+    return build_lazy_graph(er_weighted, 6, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pg_sym(er_symmetric):
+    return build_lazy_graph(er_symmetric, 6, seed=1)
+
+
+class TestSyncEngineCosts:
+    def test_three_syncs_two_rounds_per_superstep(self, pg):
+        r = PowerGraphSyncEngine(pg, SSSPProgram(0)).run()
+        # +1: the final gather barrier that detects convergence
+        assert r.stats.global_syncs == 3 * r.stats.supersteps + 1
+        assert r.stats.comm_rounds == 2 * r.stats.supersteps + 1
+
+    def test_no_lazy_counters(self, pg):
+        r = PowerGraphSyncEngine(pg, SSSPProgram(0)).run()
+        assert r.stats.local_iterations == 0
+        assert r.stats.coherency_points == 0
+
+
+class TestLazyEngineCosts:
+    def test_one_sync_per_coherency_point(self, pg):
+        r = LazyBlockAsyncEngine(pg, SSSPProgram(0)).run()
+        assert r.stats.global_syncs == r.stats.coherency_points
+
+    def test_fewer_syncs_than_eager(self, pg):
+        sync = PowerGraphSyncEngine(pg, SSSPProgram(0)).run()
+        lazy = LazyBlockAsyncEngine(pg, SSSPProgram(0)).run()
+        assert lazy.stats.global_syncs < sync.stats.global_syncs
+
+    def test_local_iterations_happen(self, pg):
+        r = LazyBlockAsyncEngine(pg, SSSPProgram(0)).run()
+        assert r.stats.local_iterations > 0
+
+    def test_never_model_disables_local_stages(self, pg):
+        from repro.core import NeverLazyModel
+
+        r = LazyBlockAsyncEngine(
+            pg, SSSPProgram(0), interval_model=NeverLazyModel()
+        ).run()
+        assert r.stats.local_iterations == 0
+
+    def test_mode_switch_counter_present(self, pg):
+        r = LazyBlockAsyncEngine(pg, SSSPProgram(0)).run()
+        assert "mode_switches" in r.stats.extra
+
+
+class TestAsyncEngines:
+    def test_eager_async_no_global_syncs(self, pg):
+        r = PowerGraphAsyncEngine(pg, SSSPProgram(0)).run()
+        assert r.stats.global_syncs == 0
+
+    def test_lazy_vertex_no_global_syncs(self, pg):
+        r = LazyVertexAsyncEngine(pg, SSSPProgram(0)).run()
+        assert r.stats.global_syncs == 0
+
+    def test_async_moves_same_data_plus_probes(self, pg):
+        """Eager Async shares Sync's data flow; it additionally pays for
+        the termination-detection control probes."""
+        from repro.cluster.termination import PROBE_BYTES_PER_MACHINE
+
+        a = PowerGraphAsyncEngine(pg, SSSPProgram(0)).run()
+        s = PowerGraphSyncEngine(pg, SSSPProgram(0)).run()
+        probes = a.stats.extra["termination_probes"]
+        probe_bytes = probes * PROBE_BYTES_PER_MACHINE * pg.num_machines
+        assert a.stats.comm_bytes == s.stats.comm_bytes + probe_bytes
+        assert probes >= 2
+
+
+class TestTrafficConsistency:
+    def test_bytes_are_message_multiples(self, pg):
+        prog = SSSPProgram(0)
+        for engine in (PowerGraphSyncEngine, LazyBlockAsyncEngine):
+            r = engine(pg, prog).run()
+            assert r.stats.comm_bytes == pytest.approx(
+                r.stats.comm_messages * prog.delta_bytes
+            )
+
+    def test_single_machine_moves_nothing(self, er_weighted):
+        pg1 = build_lazy_graph(er_weighted, 1, seed=1)
+        for engine in (PowerGraphSyncEngine, LazyBlockAsyncEngine):
+            r = engine(pg1, SSSPProgram(0)).run()
+            assert r.stats.comm_bytes == 0.0
+            assert r.stats.comm_messages == 0
+
+    def test_time_breakdown_adds_up(self, pg):
+        r = LazyBlockAsyncEngine(pg, PageRankDeltaProgram()).run()
+        assert r.stats.modeled_time_s == pytest.approx(
+            r.stats.compute_time_s + r.stats.comm_time_s + r.stats.sync_time_s
+        )
+
+    def test_work_counters_positive(self, pg_sym):
+        # k=8 actually peels on the ~9-mean-degree symmetric ER graph
+        r = LazyBlockAsyncEngine(pg_sym, KCoreProgram(k=8)).run()
+        assert r.stats.edge_traversals > 0
+        assert r.stats.vertex_updates > 0
+
+
+class TestLazyTrafficWins:
+    @pytest.mark.parametrize("prog_factory", [
+        lambda: ConnectedComponentsProgram(),
+        lambda: KCoreProgram(k=4),
+    ])
+    def test_idempotent_or_peeling_traffic_below_eager(self, pg_sym, prog_factory):
+        sync = PowerGraphSyncEngine(pg_sym, prog_factory()).run()
+        lazy = LazyBlockAsyncEngine(pg_sym, prog_factory()).run()
+        assert lazy.stats.comm_bytes < sync.stats.comm_bytes

@@ -1,0 +1,73 @@
+"""Golden regression pins: exact deterministic counters for fixed configs.
+
+The whole library is deterministic given seeds, so a handful of cells
+can be pinned exactly. If one of these fails after a change, either the
+change is a bug or it deliberately altered engine/partitioner behaviour
+— in which case EXPERIMENTS.md's numbers must be regenerated
+(``python -m repro figures``) and these pins updated alongside it.
+Counters only (no modeled time): the cost *model* is tunable by design;
+the protocol behaviour is not.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def cc_road():
+    return repro.run("road-ca-mini", "cc", machines=8, seed=0)
+
+
+class TestGoldenLazyCC:
+    def test_supersteps(self, cc_road):
+        assert cc_road.stats.supersteps == 21
+
+    def test_syncs_equal_coherency_points(self, cc_road):
+        assert cc_road.stats.global_syncs == 22
+        assert cc_road.stats.coherency_points == 22
+
+    def test_messages(self, cc_road):
+        assert cc_road.stats.comm_messages == 6642
+        assert cc_road.stats.comm_bytes == 6642 * 16
+
+    def test_component_count(self, cc_road):
+        assert np.unique(cc_road.values).size == 1  # connected road grid
+
+
+class TestGoldenEagerSSSP:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return repro.run(
+            "road-ca-mini", "sssp", engine="powergraph-sync",
+            machines=8, seed=0,
+        )
+
+    def test_cost_structure(self, run):
+        assert run.stats.global_syncs == 3 * run.stats.supersteps + 1
+        assert run.stats.comm_rounds == 2 * run.stats.supersteps + 1
+
+    def test_supersteps_pinned(self, run):
+        assert run.stats.supersteps == 89
+
+    def test_reachability(self, run):
+        assert np.isfinite(run.values).all()
+
+
+class TestGoldenPartition:
+    def test_lambda_pinned(self):
+        g = repro.load_dataset("road-ca-mini")
+        pg = repro.build_lazy_graph(g, 48, seed=1)
+        assert pg.replication_factor == pytest.approx(1.648, abs=0.002)
+
+    def test_twitter_lambda_pinned(self):
+        g = repro.load_dataset("twitter-mini")
+        pg = repro.build_lazy_graph(g, 48, seed=1)
+        assert pg.replication_factor == pytest.approx(8.944, abs=0.002)
+
+    def test_dataset_sizes_pinned(self):
+        g = repro.load_dataset("road-ca-mini")
+        assert (g.num_vertices, g.num_edges) == (2025, 5708)
+        g = repro.load_dataset("enwiki-mini")
+        assert (g.num_vertices, g.num_edges) == (2000, 50136)

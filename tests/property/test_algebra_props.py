@@ -1,0 +1,101 @@
+"""Property tests: monoid laws the coherency machinery relies on.
+
+The paper's §3.5 proof assumes the user ``Sum`` is commutative and
+associative (and ``Inverse``, when present, actually inverts). Every
+registered algebra must satisfy these for the exchange to be sound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.vertex_program import MAX_ALGEBRA, MIN_ALGEBRA, SUM_ALGEBRA
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+ALGEBRAS = [SUM_ALGEBRA, MIN_ALGEBRA, MAX_ALGEBRA]
+
+
+@given(a=finite, b=finite)
+@settings(max_examples=60)
+def test_commutativity(a, b):
+    for alg in ALGEBRAS:
+        assert alg.combine(a, b) == alg.combine(b, a), alg.name
+
+
+@given(a=finite, b=finite, c=finite)
+@settings(max_examples=60)
+def test_associativity(a, b, c):
+    for alg in ALGEBRAS:
+        left = alg.combine(alg.combine(a, b), c)
+        right = alg.combine(a, alg.combine(b, c))
+        if alg is SUM_ALGEBRA:
+            assert np.isclose(left, right, rtol=1e-12, atol=1e-6), alg.name
+        else:
+            assert left == right, alg.name
+
+
+@given(a=finite)
+@settings(max_examples=60)
+def test_identity(a):
+    for alg in ALGEBRAS:
+        assert alg.combine(a, alg.identity) == a, alg.name
+        assert alg.combine(alg.identity, a) == a, alg.name
+
+
+@given(a=finite, b=finite)
+@settings(max_examples=60)
+def test_inverse_cancels(a, b):
+    total = SUM_ALGEBRA.combine(a, b)
+    assert np.isclose(SUM_ALGEBRA.inverse(total, b), a, rtol=1e-9, atol=1e-6)
+
+
+@given(a=finite)
+@settings(max_examples=60)
+def test_idempotency_flags_truthful(a):
+    for alg in ALGEBRAS:
+        if alg.idempotent:
+            assert alg.combine(a, a) == a, alg.name
+
+
+@given(
+    values=st.lists(finite, min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40)
+def test_fold_order_invariance(values, seed):
+    """The exact guarantee replicas need: any grouping/order of the same
+    message multiset folds to the same accum (exactly for min/max,
+    within float tolerance for sum)."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(values))
+    shuffled = [values[i] for i in perm]
+    for alg in ALGEBRAS:
+        a = alg.identity
+        for v in values:
+            a = alg.combine(a, v)
+        b = alg.identity
+        for v in shuffled:
+            b = alg.combine(b, v)
+        if alg is SUM_ALGEBRA:
+            assert np.isclose(a, b, rtol=1e-9, atol=1e-6)
+        else:
+            assert a == b
+
+
+@given(
+    idx=st.lists(st.integers(0, 7), min_size=1, max_size=20),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40)
+def test_combine_at_equals_sequential_fold(idx, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(-10, 10, size=len(idx))
+    for alg in ALGEBRAS:
+        buf = np.full(8, alg.identity)
+        alg.combine_at(buf, np.asarray(idx), vals)
+        expected = np.full(8, alg.identity)
+        for i, v in zip(idx, vals):
+            expected[i] = alg.combine(expected[i], v)
+        assert np.allclose(buf, expected), alg.name

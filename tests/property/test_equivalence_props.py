@@ -1,0 +1,86 @@
+"""Property tests: the §3.5 theorem on random graphs.
+
+Random small graphs, random partitions, random machine counts — the
+lazy engine's fixpoint must always match the single-machine reference.
+This is the strongest randomized check in the suite.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    ConnectedComponentsProgram,
+    KCoreProgram,
+    SSSPProgram,
+    cc_reference,
+    kcore_reference,
+    sssp_reference,
+)
+from repro.core import LazyBlockAsyncEngine
+from repro.graph.digraph import DiGraph
+from repro.partition.base import partition_graph
+from repro.partition.partitioned_graph import PartitionedGraph
+
+
+@st.composite
+def weighted_graph(draw):
+    n = draw(st.integers(3, 25))
+    m = draw(st.integers(2, 60))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return DiGraph(n, np.asarray(src), np.asarray(dst), np.asarray(w))
+
+
+def lazy_run(graph, program, machines, seed):
+    asg = partition_graph(graph, machines, "random", seed=seed)
+    pg = PartitionedGraph.build(graph, asg, machines)
+    return LazyBlockAsyncEngine(pg, program).run()
+
+
+@given(
+    graph=weighted_graph(),
+    machines=st.integers(1, 5),
+    source=st.integers(0, 2),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_lazy_sssp_matches_dijkstra(graph, machines, source, seed):
+    result = lazy_run(graph, SSSPProgram(source), machines, seed)
+    ref = sssp_reference(graph, source)
+    finite = np.isfinite(ref)
+    assert np.array_equal(np.isfinite(result.values), finite)
+    assert np.allclose(result.values[finite], ref[finite])
+    assert result.replica_max_disagreement == 0.0
+
+
+@given(
+    graph=weighted_graph(),
+    machines=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_lazy_cc_matches_union_find(graph, machines, seed):
+    sym = graph.symmetrized()
+    result = lazy_run(sym, ConnectedComponentsProgram(), machines, seed)
+    assert np.array_equal(result.values, cc_reference(sym))
+
+
+@given(
+    graph=weighted_graph(),
+    machines=st.integers(1, 5),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_lazy_kcore_matches_peeling(graph, machines, k, seed):
+    sym = graph.symmetrized()
+    result = lazy_run(sym, KCoreProgram(k=k), machines, seed)
+    assert np.array_equal(result.values, kcore_reference(sym, k))

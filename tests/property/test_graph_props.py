@@ -1,0 +1,70 @@
+"""Property tests: DiGraph structural invariants on arbitrary edge lists."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import weakly_connected_components
+
+
+@st.composite
+def edges_and_n(draw):
+    n = draw(st.integers(1, 40))
+    m = draw(st.integers(0, 120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+@given(edges_and_n())
+@settings(max_examples=50, deadline=None)
+def test_degree_sums(data):
+    n, src, dst = data
+    g = DiGraph(n, src, dst)
+    assert g.out_degrees().sum() == g.num_edges
+    assert g.in_degrees().sum() == g.num_edges
+    assert g.degrees().sum() == 2 * g.num_edges
+
+
+@given(edges_and_n())
+@settings(max_examples=50, deadline=None)
+def test_csr_is_a_permutation_of_edges(data):
+    n, src, dst = data
+    g = DiGraph(n, src, dst)
+    for indptr, eids in (g.out_csr(), g.in_csr()):
+        assert indptr[0] == 0 and indptr[-1] == g.num_edges
+        assert np.array_equal(np.sort(eids), np.arange(g.num_edges))
+
+
+@given(edges_and_n())
+@settings(max_examples=50, deadline=None)
+def test_reverse_is_involution(data):
+    n, src, dst = data
+    g = DiGraph(n, src, dst)
+    assert g.reverse().reverse().structurally_equal(g)
+
+
+@given(edges_and_n())
+@settings(max_examples=50, deadline=None)
+def test_symmetrized_is_symmetric_and_loop_free(data):
+    n, src, dst = data
+    sym = DiGraph(n, src, dst).symmetrized()
+    assert np.array_equal(sym.in_degrees(), sym.out_degrees())
+    assert np.all(sym.src != sym.dst)
+    # symmetrizing twice changes nothing
+    assert sym.symmetrized().structurally_equal(sym)
+
+
+@given(edges_and_n())
+@settings(max_examples=50, deadline=None)
+def test_component_labels_consistent_across_edges(data):
+    n, src, dst = data
+    g = DiGraph(n, src, dst)
+    labels = weakly_connected_components(g)
+    # endpoints of every edge share a component label
+    assert np.array_equal(labels[g.src], labels[g.dst])
+    # each label is the minimum vertex id of its component
+    for lab in np.unique(labels):
+        members = np.flatnonzero(labels == lab)
+        assert lab == members.min()

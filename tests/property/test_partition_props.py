@@ -1,0 +1,62 @@
+"""Property tests: partitioning invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.partition.base import partition_graph
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.partition.replication import replication_factor
+
+
+@st.composite
+def random_graph(draw, max_vertices=30, max_edges=80):
+    n = draw(st.integers(2, max_vertices))
+    m = draw(st.integers(1, max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return DiGraph(n, np.asarray(src), np.asarray(dst))
+
+
+@given(
+    graph=random_graph(),
+    machines=st.integers(1, 6),
+    method=st.sampled_from(["random", "grid", "coordinated", "hybrid", "edge"]),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_partition_invariants(graph, machines, method, seed):
+    assignment = partition_graph(graph, machines, method, seed=seed)
+    pg = PartitionedGraph.build(graph, assignment, machines)
+    pg.validate()  # every placement invariant, including master/replica
+    assert pg.replication_factor >= 1.0
+    assert pg.replication_factor <= machines
+    lam = replication_factor(graph, assignment, machines)
+    # λ computed two independent ways agrees (modulo home machines of
+    # edge-less vertices, which PartitionedGraph counts as one replica)
+    assert pg.replication_factor >= lam - 1e-9
+
+
+@given(
+    graph=random_graph(max_vertices=20, max_edges=40),
+    machines=st.integers(2, 5),
+    n_parallel=st.integers(0, 10),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_parallel_edge_dispatch_invariants(graph, machines, n_parallel, seed):
+    assignment = partition_graph(graph, machines, "random", seed=seed)
+    rng = np.random.default_rng(seed)
+    n_parallel = min(n_parallel, graph.num_edges)
+    parallel = rng.choice(graph.num_edges, size=n_parallel, replace=False)
+    pg = PartitionedGraph.build(graph, assignment, machines, parallel_eids=parallel)
+    pg.validate()
+    # the dispatch rule: source spans at least the target's machines
+    for e in parallel:
+        s, t = int(graph.src[e]), int(graph.dst[e])
+        assert set(pg.replicas_of(t)) <= set(pg.replicas_of(s))

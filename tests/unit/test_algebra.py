@@ -1,0 +1,89 @@
+"""Unit tests for DeltaAlgebra and program validation."""
+
+import numpy as np
+import pytest
+
+from repro.api.vertex_program import (
+    DeltaAlgebra,
+    MAX_ALGEBRA,
+    MIN_ALGEBRA,
+    SUM_ALGEBRA,
+)
+from repro.errors import AlgorithmError
+
+
+class TestSumAlgebra:
+    def test_combine(self):
+        assert SUM_ALGEBRA.combine(2.0, 3.0) == 5.0
+
+    def test_identity(self):
+        assert SUM_ALGEBRA.combine(7.0, SUM_ALGEBRA.identity) == 7.0
+
+    def test_inverse(self):
+        total = SUM_ALGEBRA.combine(4.0, 9.0)
+        assert SUM_ALGEBRA.inverse(total, 9.0) == pytest.approx(4.0)
+
+    def test_combine_at_folds_repeats(self):
+        buf = np.zeros(3)
+        SUM_ALGEBRA.combine_at(buf, np.array([1, 1, 2]), np.array([1.0, 2.0, 5.0]))
+        assert buf.tolist() == [0.0, 3.0, 5.0]
+
+    def test_supports_m2m(self):
+        assert SUM_ALGEBRA.supports_mirrors_to_master
+
+
+class TestMinAlgebra:
+    def test_combine(self):
+        assert MIN_ALGEBRA.combine(2.0, 3.0) == 2.0
+
+    def test_identity_is_inf(self):
+        assert MIN_ALGEBRA.combine(5.0, MIN_ALGEBRA.identity) == 5.0
+
+    def test_idempotent_flag(self):
+        assert MIN_ALGEBRA.idempotent
+        assert not SUM_ALGEBRA.idempotent
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(AlgorithmError, match="no inverse"):
+            MIN_ALGEBRA.inverse(1.0, 2.0)
+
+    def test_supports_m2m_via_idempotency(self):
+        assert MIN_ALGEBRA.supports_mirrors_to_master
+
+    def test_combine_at(self):
+        buf = np.full(2, np.inf)
+        MIN_ALGEBRA.combine_at(buf, np.array([0, 0]), np.array([5.0, 3.0]))
+        assert buf.tolist() == [3.0, np.inf]
+
+
+class TestMaxAlgebra:
+    def test_combine(self):
+        assert MAX_ALGEBRA.combine(2.0, 3.0) == 3.0
+
+    def test_identity(self):
+        assert MAX_ALGEBRA.combine(-5.0, MAX_ALGEBRA.identity) == -5.0
+
+
+class TestCustomAlgebra:
+    def test_non_invertible_non_idempotent_rejects_m2m(self):
+        # e.g. float multiply without inverse
+        alg = DeltaAlgebra("prod", np.multiply, 1.0)
+        assert not alg.supports_mirrors_to_master
+
+
+class TestProgramValidation:
+    def test_delta_bytes_positive(self):
+        from repro.algorithms import PageRankDeltaProgram
+
+        p = PageRankDeltaProgram()
+        p.delta_bytes = 0
+        with pytest.raises(AlgorithmError, match="delta_bytes"):
+            p.validate()
+
+    def test_algebra_type_checked(self):
+        from repro.algorithms import SSSPProgram
+
+        p = SSSPProgram()
+        p.algebra = "not an algebra"
+        with pytest.raises(AlgorithmError, match="algebra"):
+            p.validate()

@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench.configs import (
+    ExperimentConfig,
+    default_kcore_k,
+    default_program_params,
+    FIG9_ALGORITHMS,
+    FIG9_GRAPHS,
+)
+from repro.bench.harness import (
+    clear_caches,
+    compare_lazy_vs_sync,
+    get_partitioned,
+    get_prepared_graph,
+    run_config,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.errors import ConfigError
+
+
+class TestConfigs:
+    def test_fig9_axes(self):
+        assert len(FIG9_GRAPHS) == 8
+        assert set(FIG9_ALGORITHMS) == {"kcore", "pagerank", "sssp", "cc"}
+
+    def test_kcore_k_by_class(self):
+        assert default_kcore_k("road-usa-mini") == 3
+        assert default_kcore_k("twitter-mini") == 10
+
+    def test_default_params(self):
+        assert default_program_params("sssp", "road-usa-mini") == {"source": 0}
+        assert "tolerance" in default_program_params("pagerank", "twitter-mini")
+        with pytest.raises(ConfigError):
+            default_program_params("bogus", "twitter-mini")
+
+    def test_config_param_overlay(self):
+        cfg = ExperimentConfig("twitter-mini", "kcore", params={"k": 7})
+        assert cfg.resolved_params() == {"k": 7}
+
+    def test_label(self):
+        cfg = ExperimentConfig("road-ca-mini", "cc", machines=8)
+        assert "cc/road-ca-mini@8" in cfg.label()
+
+
+class TestHarness:
+    def setup_method(self):
+        clear_caches()
+
+    def test_graph_cache_shares_objects(self):
+        a = get_prepared_graph("road-ca-mini", False, False)
+        b = get_prepared_graph("road-ca-mini", False, False)
+        assert a is b
+        c = get_prepared_graph("road-ca-mini", True, False)
+        assert c is not a
+
+    def test_partition_cache(self):
+        g = get_prepared_graph("road-ca-mini", False, False)
+        a = get_partitioned(g, 4)
+        b = get_partitioned(g, 4)
+        assert a is b
+        assert get_partitioned(g, 8) is not a
+
+    def test_run_config_and_cache(self):
+        cfg = ExperimentConfig("road-ca-mini", "cc", machines=4)
+        a = run_config(cfg)
+        b = run_config(cfg)
+        assert a is b
+        assert a.stats.converged
+
+    def test_run_config_unknown_engine(self):
+        cfg = ExperimentConfig("road-ca-mini", "cc", engine="bogus", machines=4)
+        with pytest.raises(ConfigError):
+            run_config(cfg)
+
+    def test_compare_row_fields(self):
+        row = compare_lazy_vs_sync("road-ca-mini", "cc", machines=4)
+        assert set(row) >= {"speedup", "norm_syncs", "norm_traffic"}
+        assert row["speedup"] > 0
+        assert 0 <= row["norm_syncs"]
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "x"], [["a", 1.5], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in text
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+
+    def test_series(self):
+        text = format_series("P", [8, 16], {"sync": [1.0, 2.0], "lazy": [0.5, 0.8]})
+        assert "sync" in text and "lazy" in text
+        assert "16" in text

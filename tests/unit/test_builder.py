@@ -1,0 +1,86 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, dedup_edges
+import numpy as np
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        g = b.build()
+        assert (g.num_vertices, g.num_edges) == (3, 2)
+
+    def test_infers_vertex_count(self):
+        b = GraphBuilder()
+        b.add_edge(0, 9)
+        assert b.build().num_vertices == 10
+
+    def test_fixed_vertex_count_enforced(self):
+        b = GraphBuilder(num_vertices=3)
+        with pytest.raises(GraphError, match="out of range"):
+            b.add_edge(0, 3)
+
+    def test_rejects_negative_ids(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0)
+
+    def test_weighted_requires_weight(self):
+        b = GraphBuilder(weighted=True)
+        with pytest.raises(GraphError, match="requires a weight"):
+            b.add_edge(0, 1)
+
+    def test_unweighted_rejects_weight(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="weighted=True"):
+            b.add_edge(0, 1, 3.0)
+
+    def test_weighted_build(self):
+        b = GraphBuilder(weighted=True)
+        b.add_edge(0, 1, 2.5)
+        g = b.build()
+        assert g.weights.tolist() == [2.5]
+
+    def test_bulk_add(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2), (2, 0)])
+        assert b.num_edges == 3
+
+    def test_bulk_add_weighted(self):
+        b = GraphBuilder(weighted=True)
+        b.add_edges([(0, 1), (1, 2)], weights=[1.0, 2.0])
+        assert b.build().weights.tolist() == [1.0, 2.0]
+
+    def test_dedup_on_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (0, 1), (1, 0)])
+        assert b.build(dedup=True).num_edges == 2
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert (g.num_vertices, g.num_edges) == (0, 0)
+
+    def test_name_recorded(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        assert b.build(name="demo").name == "demo"
+
+
+class TestDedupEdges:
+    def test_keeps_first_weight(self):
+        src = np.array([0, 0, 1])
+        dst = np.array([1, 1, 2])
+        w = np.array([5.0, 9.0, 1.0])
+        s, d, w2 = dedup_edges(3, src, dst, w)
+        assert s.tolist() == [0, 1]
+        assert w2.tolist() == [5.0, 1.0]
+
+    def test_empty_passthrough(self):
+        src = np.array([], dtype=np.int64)
+        s, d, w = dedup_edges(3, src, src, None)
+        assert s.size == 0 and w is None

@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "cc"]
+        )
+        assert args.engine == "lazy-block"
+        assert args.machines == 48
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--graph", "g", "--algorithm", "cc", "--engine", "bogus"]
+            )
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--graph", "g", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "web-uk-mini" in out
+        assert "UK-2005" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "--graph", "road-ca-mini"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter_estimate" in out
+
+    def test_run(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "cc",
+             "--machines", "4", "--top", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "top 2" in out
+
+    def test_run_with_algorithm_params(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "kcore",
+             "--machines", "4", "--k", "3", "--engine", "powergraph-sync"]
+        )
+        assert rc == 0
+        assert "powergraph-sync/kcore" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--graph", "road-ca-mini", "--algorithm", "cc",
+             "--machines", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "normalized traffic" in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--graph", "road-ca-mini", "--algorithm", "cc",
+             "--machine-counts", "2,4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lazy-block" in out and "powergraph-sync" in out
+
+    def test_run_trace(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "cc",
+             "--machines", "4", "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "active" in out and "supersteps:" in out
+
+    def test_validate_ok(self, capsys, tmp_path, er_weighted):
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "g.txt"
+        save_edge_list(er_weighted, path)
+        rc = main(
+            ["validate", "--graph-file", str(path), "--algorithm", "cc",
+             "--machines", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "MISMATCH" not in out
+
+    def test_validate_dimacs_input(self, capsys, tmp_path, er_weighted):
+        from repro.graph.io import save_dimacs
+
+        path = tmp_path / "g.gr"
+        save_dimacs(er_weighted, path)
+        rc = main(
+            ["validate", "--graph-file", str(path), "--algorithm", "sssp",
+             "--machines", "3"]
+        )
+        assert rc == 0

@@ -1,0 +1,198 @@
+"""Unit tests for the delta-exchange machinery."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConnectedComponentsProgram, PageRankDeltaProgram
+from repro.api.vertex_program import DeltaAlgebra, DeltaProgram
+from repro.cluster.network import CommMode, NetworkModel
+from repro.core.coherency import CoherencyExchanger
+from repro.errors import EngineError
+from repro.graph.digraph import DiGraph
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+
+def two_machine_setup(program):
+    """Vertex 1 spans both machines: 0->1 on m0, 1->2 on m1."""
+    g = DiGraph(3, [0, 1], [1, 2])
+    asg = np.array([0, 1], dtype=np.int32)
+    pg = PartitionedGraph.build(g, asg, 2)
+    rts = [MachineRuntime(mg, program) for mg in pg.machines]
+    return g, pg, rts
+
+
+class TestFullExchange:
+    def test_sum_delta_reaches_other_replica(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        m0.delta_msg[i1] = 0.5
+        m0.has_delta[i1] = True
+        ex = CoherencyExchanger(pg, prog, rts)
+        report = ex.exchange()
+        assert report.vertices_exchanged == 1
+        m1 = rts[1]
+        j1 = int(np.flatnonzero(m1.mg.vertices == 1)[0])
+        assert m1.has_msg[j1]
+        assert m1.msg[j1] == pytest.approx(0.5)
+        # sender does not receive its own delta back (sum algebra)
+        assert not m0.has_msg[i1]
+        # sender's delta cleared
+        assert not m0.has_delta[i1]
+
+    def test_min_delta_delivery(self):
+        prog = ConnectedComponentsProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        m0.delta_msg[i1] = 0.0  # label improvement
+        m0.has_delta[i1] = True
+        CoherencyExchanger(pg, prog, rts).exchange()
+        m1 = rts[1]
+        j1 = int(np.flatnonzero(m1.mg.vertices == 1)[0])
+        assert m1.has_msg[j1] and m1.msg[j1] == 0.0
+
+    def test_both_replicas_contribute(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        vals = {0: 0.25, 1: 0.75}
+        for m, rt in enumerate(rts):
+            i = int(np.flatnonzero(rt.mg.vertices == 1)[0])
+            rt.delta_msg[i] = vals[m]
+            rt.has_delta[i] = True
+        CoherencyExchanger(pg, prog, rts).exchange()
+        for m, rt in enumerate(rts):
+            i = int(np.flatnonzero(rt.mg.vertices == 1)[0])
+            # each replica receives exactly the *other* replica's delta
+            assert rt.msg[i] == pytest.approx(vals[1 - m])
+
+    def test_empty_exchange_report(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        report = CoherencyExchanger(pg, prog, rts).exchange()
+        assert report.empty
+        assert report.volume_bytes == 0.0
+
+    def test_unreplicated_deltas_cleared(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m1 = rts[1]
+        j2 = int(np.flatnonzero(m1.mg.vertices == 2)[0])
+        m1.delta_msg[j2] = 1.0
+        m1.has_delta[j2] = True
+        report = CoherencyExchanger(pg, prog, rts).exchange()
+        assert report.empty  # vertex 2 has a single replica
+        assert not m1.has_delta[j2]
+
+
+class TestVolumes:
+    def test_paper_volume_equations(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        m0.delta_msg[i1] = 0.5
+        m0.has_delta[i1] = True
+        report = CoherencyExchanger(pg, prog, rts).exchange()
+        b = prog.delta_bytes
+        # one replica has a delta (N=1), vertex has 2 replicas (Num=2):
+        # a2a = N*(Num-1) = 1 message; m2m = N + Num - 2 = 1 message
+        assert report.volume_a2a_bytes == pytest.approx(1 * b)
+        assert report.volume_m2m_bytes == pytest.approx(1 * b)
+
+    def test_forced_modes(self):
+        for mode, expected in (
+            ("a2a", CommMode.ALL_TO_ALL),
+            ("m2m", CommMode.MIRRORS_TO_MASTER),
+        ):
+            prog = PageRankDeltaProgram()
+            g, pg, rts = two_machine_setup(prog)
+            m0 = rts[0]
+            i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+            m0.delta_msg[i1] = 0.5
+            m0.has_delta[i1] = True
+            report = CoherencyExchanger(pg, prog, rts, mode=mode).exchange()
+            assert report.mode is expected
+
+    def test_mode_equivalence(self):
+        """a2a and m2m exchanges must produce identical buffer states."""
+        states = {}
+        for mode in ("a2a", "m2m"):
+            prog = PageRankDeltaProgram()
+            g, pg, rts = two_machine_setup(prog)
+            for m, rt in enumerate(rts):
+                i = int(np.flatnonzero(rt.mg.vertices == 1)[0])
+                rt.delta_msg[i] = 0.25 * (m + 1)
+                rt.has_delta[i] = True
+            CoherencyExchanger(pg, prog, rts, mode=mode).exchange()
+            states[mode] = [rt.msg.copy() for rt in rts]
+        for a, b in zip(states["a2a"], states["m2m"]):
+            assert np.allclose(a, b)
+
+    def test_invalid_mode_rejected(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        with pytest.raises(EngineError, match="unknown coherency mode"):
+            CoherencyExchanger(pg, prog, rts, mode="bogus")
+
+    def test_m2m_requires_inverse_or_idempotency(self):
+        class ProdProgram(PageRankDeltaProgram):
+            algebra = DeltaAlgebra("prod", np.multiply, 1.0)
+
+        prog = ProdProgram()
+        g, pg, rts = two_machine_setup(prog)
+        with pytest.raises(EngineError, match="neither Inverse"):
+            CoherencyExchanger(pg, prog, rts, mode="m2m")
+        # a2a remains sound for any commutative monoid
+        CoherencyExchanger(pg, prog, rts, mode="a2a")
+
+
+class TestSubsumptionFilter:
+    def test_non_improving_min_delta_not_shipped(self):
+        prog = ConnectedComponentsProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        # delta 5.0 is worse than vertex 1's initial shared label 1.0
+        m0.delta_msg[i1] = 5.0
+        m0.has_delta[i1] = True
+        report = CoherencyExchanger(pg, prog, rts).exchange()
+        assert report.empty
+        assert not m0.has_delta[i1]  # cleared as subsumed
+
+    def test_improving_delta_still_shipped(self):
+        prog = ConnectedComponentsProgram()
+        g, pg, rts = two_machine_setup(prog)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        m0.delta_msg[i1] = 0.0
+        m0.has_delta[i1] = True
+        report = CoherencyExchanger(pg, prog, rts).exchange()
+        assert report.vertices_exchanged == 1
+
+    def test_shared_view_advances(self):
+        prog = ConnectedComponentsProgram()
+        g, pg, rts = two_machine_setup(prog)
+        ex = CoherencyExchanger(pg, prog, rts)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        m0.delta_msg[i1] = 0.5
+        m0.has_delta[i1] = True
+        ex.exchange()
+        # re-sending the same (now shared) value must be filtered
+        m0.delta_msg[i1] = 0.5
+        m0.has_delta[i1] = True
+        assert ex.exchange().empty
+
+    def test_sum_algebra_has_no_filter(self):
+        prog = PageRankDeltaProgram()
+        g, pg, rts = two_machine_setup(prog)
+        ex = CoherencyExchanger(pg, prog, rts)
+        m0 = rts[0]
+        i1 = int(np.flatnonzero(m0.mg.vertices == 1)[0])
+        for _ in range(2):
+            m0.delta_msg[i1] = 0.5
+            m0.has_delta[i1] = True
+            assert ex.exchange().vertices_exchanged == 1

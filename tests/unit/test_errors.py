@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    EngineError,
+    GraphError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            GraphFormatError,
+            PartitionError,
+            EngineError,
+            ConvergenceError,
+            AlgorithmError,
+            DatasetError,
+            ConfigError,
+        ):
+            assert issubclass(exc, ReproError), exc
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(GraphFormatError, GraphError)
+
+    def test_convergence_is_engine_error(self):
+        assert issubclass(ConvergenceError, EngineError)
+
+    def test_catch_all_pattern(self):
+        """Library failures are catchable without masking bugs."""
+        with pytest.raises(ReproError):
+            raise DatasetError("nope")
+        with pytest.raises(ReproError):
+            raise ConvergenceError("nope")
+
+    def test_library_raises_catchable_errors(self):
+        import repro
+
+        with pytest.raises(ReproError):
+            repro.load_dataset("definitely-not-a-dataset")
+        with pytest.raises(ReproError):
+            repro.make_program("definitely-not-an-algorithm")
+        with pytest.raises(ReproError):
+            repro.partition_graph(
+                repro.load_dataset("road-ca-mini"), 4, "definitely-not-a-cut"
+            )

@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    attach_uniform_weights,
+    community_graph,
+    erdos_renyi_graph,
+    powerlaw_graph,
+    road_grid_graph,
+    web_graph,
+)
+from repro.graph.properties import (
+    degree_gini,
+    estimate_diameter,
+    weakly_connected_components,
+)
+
+
+def _is_connected(graph):
+    labels = weakly_connected_components(graph)
+    return np.all(labels == labels[0])
+
+
+class TestRoadGrid:
+    def test_connected(self):
+        g = road_grid_graph(12, 12, seed=1)
+        assert _is_connected(g)
+
+    def test_symmetric_edges(self):
+        g = road_grid_graph(8, 8, seed=2)
+        for u, v in list(g.edges())[:50]:
+            assert g.has_edge(v, u)
+
+    def test_ev_ratio_tracks_extra_fraction(self):
+        g = road_grid_graph(20, 20, extra_edge_fraction=0.25, seed=3)
+        assert g.ev_ratio == pytest.approx(2 * 1.25, rel=0.1)
+
+    def test_high_diameter(self):
+        g = road_grid_graph(20, 20, extra_edge_fraction=0.2, seed=4)
+        assert estimate_diameter(g, num_probes=2) >= 20
+
+    def test_flat_degrees(self):
+        g = road_grid_graph(20, 20, seed=5)
+        assert degree_gini(g) < 0.25
+
+    def test_deterministic(self):
+        a = road_grid_graph(10, 10, seed=7)
+        b = road_grid_graph(10, 10, seed=7)
+        assert a.structurally_equal(b)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(GraphError):
+            road_grid_graph(0, 5)
+
+
+class TestWebGraph:
+    def test_size_and_degree(self):
+        g = web_graph(400, 6.0, seed=1)
+        assert g.num_vertices == 400
+        assert 3.0 < g.ev_ratio < 7.0
+
+    def test_skewed_in_degrees(self):
+        g = web_graph(500, 8.0, copy_prob=0.7, seed=2)
+        in_deg = g.in_degrees()
+        assert in_deg.max() >= 5 * max(in_deg.mean(), 1)
+
+    def test_locality_window_respected(self):
+        g = web_graph(500, 5.0, window=20, global_link_prob=0.0, seed=3)
+        span = np.abs(g.src - g.dst)
+        # copying chains stretch locality a few windows back, but spans
+        # must decay geometrically rather than being uniform over n
+        assert np.quantile(span, 0.5) <= 20
+        assert np.quantile(span, 0.95) <= 6 * 20
+
+    def test_deterministic(self):
+        assert web_graph(100, 4.0, seed=9).structurally_equal(
+            web_graph(100, 4.0, seed=9)
+        )
+
+    def test_default_is_dag_like(self):
+        # pure copying model: links point strictly backward (no cycles
+        # outside the seed clique)
+        g = web_graph(200, 4.0, seed=3)
+        forward = g.src < g.dst
+        assert forward.sum() <= 12  # only seed-clique edges
+
+    def test_back_links_create_a_core(self):
+        from repro.algorithms import scc_reference
+
+        g = web_graph(300, 5.0, window=40, back_link_prob=0.4, seed=4)
+        labels = scc_reference(g)
+        _, counts = np.unique(labels, return_counts=True)
+        assert counts.max() > 0.3 * g.num_vertices
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            web_graph(1, 4.0)
+        with pytest.raises(GraphError):
+            web_graph(10, 0.0)
+        with pytest.raises(GraphError):
+            web_graph(10, 2.0, window=0)
+
+
+class TestPowerlawGraph:
+    def test_edge_count(self):
+        g = powerlaw_graph(300, 2400, seed=1, connect=False)
+        assert g.num_edges == 2400
+
+    def test_heavy_tail(self):
+        g = powerlaw_graph(500, 5000, seed=2)
+        assert degree_gini(g) > 0.4
+
+    def test_connect_backbone(self):
+        g = powerlaw_graph(300, 900, seed=3, connect=True)
+        assert _is_connected(g)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError, match="probabilities"):
+            powerlaw_graph(10, 20, a=0.9, b=0.2, c=0.2)
+
+    def test_deterministic(self):
+        assert powerlaw_graph(100, 500, seed=4).structurally_equal(
+            powerlaw_graph(100, 500, seed=4)
+        )
+
+
+class TestCommunityGraph:
+    def test_connected_and_sized(self):
+        g = community_graph(400, 2500, seed=1)
+        assert g.num_vertices == 400
+        assert _is_connected(g)
+
+    def test_community_locality(self):
+        g = community_graph(
+            600, 4000, community_mean_size=25, p_internal=0.95, seed=2,
+            connect=False,
+        )
+        span = np.abs(g.src - g.dst)
+        # most links stay within a community's contiguous id range
+        assert np.quantile(span, 0.80) <= 60
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            community_graph(1, 10)
+        with pytest.raises(GraphError):
+            community_graph(10, 10, p_internal=1.5)
+        with pytest.raises(GraphError):
+            community_graph(10, 10, community_mean_size=1)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_graph(50, 300, seed=1)
+        assert g.num_edges == 300
+
+    def test_no_self_loops_or_dups(self):
+        g = erdos_renyi_graph(30, 200, seed=2)
+        assert np.all(g.src != g.dst)
+        keys = g.src * 30 + g.dst
+        assert np.unique(keys).size == g.num_edges
+
+    def test_rejects_impossible_count(self):
+        with pytest.raises(GraphError, match="distinct"):
+            erdos_renyi_graph(3, 100)
+
+
+class TestWeights:
+    def test_attach_range(self, er_graph):
+        g = attach_uniform_weights(er_graph, 2.0, 3.0, seed=1)
+        assert g.weights.min() >= 2.0
+        assert g.weights.max() <= 3.0
+
+    def test_attach_deterministic(self, er_graph):
+        a = attach_uniform_weights(er_graph, seed=5)
+        b = attach_uniform_weights(er_graph, seed=5)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_attach_rejects_bad_range(self, er_graph):
+        with pytest.raises(GraphError):
+            attach_uniform_weights(er_graph, 5.0, 1.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the adaptive interval model (paper §4.2.1)."""
+
+import math
+
+import pytest
+
+from repro.core.interval_model import (
+    AdaptiveIntervalModel,
+    NeverLazyModel,
+    SimpleIntervalModel,
+    fit_interval_rule,
+    make_interval_model,
+)
+from repro.errors import ConfigError
+
+
+class TestAdaptiveRule:
+    def test_paper_disjunction(self):
+        m = AdaptiveIntervalModel()
+        # E/V <= 10 -> lazy regardless of trend (road graphs)
+        assert m.turn_on_lazy(2.4, -0.5)
+        # high E/V, ascending frontier -> eager
+        assert not m.turn_on_lazy(23.8, -0.1)
+        # high E/V, descending >= 7% -> lazy
+        assert m.turn_on_lazy(23.8, 0.08)
+
+    def test_boundaries_inclusive(self):
+        m = AdaptiveIntervalModel()
+        assert m.turn_on_lazy(10.0, 0.0)
+        assert m.turn_on_lazy(11.0, 0.07)
+        assert not m.turn_on_lazy(10.01, 0.069)
+
+    def test_budget_is_3t(self):
+        m = AdaptiveIntervalModel()
+        assert m.local_budget(0.5) == pytest.approx(1.5)
+
+    def test_custom_thresholds(self):
+        m = AdaptiveIntervalModel(ev_threshold=5.0, budget_multiplier=2.0)
+        assert not m.turn_on_lazy(6.0, 0.0)
+        assert m.local_budget(1.0) == 2.0
+
+
+class TestOtherStrategies:
+    def test_simple_always_on_unbounded(self):
+        m = SimpleIntervalModel()
+        assert m.turn_on_lazy(100.0, -1.0)
+        assert math.isinf(m.local_budget(1.0))
+
+    def test_never(self):
+        m = NeverLazyModel()
+        assert not m.turn_on_lazy(1.0, 1.0)
+        assert m.local_budget(1.0) == 0.0
+
+    def test_factory(self):
+        assert make_interval_model("adaptive").name == "adaptive"
+        assert make_interval_model("simple").name == "simple"
+        assert make_interval_model("never").name == "never"
+        with pytest.raises(ConfigError):
+            make_interval_model("bogus")
+
+
+class TestFitting:
+    def test_recovers_separable_rule(self):
+        # ground truth: lazy good iff ev <= 8 or trend >= 0.1
+        samples = []
+        for ev in (2.0, 5.0, 8.0, 12.0, 20.0):
+            for trend in (-0.2, 0.0, 0.1, 0.3):
+                samples.append((ev, trend, ev <= 8 or trend >= 0.1))
+        rule = fit_interval_rule(samples)
+        for ev, trend, label in samples:
+            assert rule.turn_on_lazy(ev, trend) == label
+
+    def test_requires_samples(self):
+        with pytest.raises(ConfigError):
+            fit_interval_rule([])
+
+    def test_candidate_grids_honoured(self):
+        samples = [(2.0, 0.0, True), (20.0, 0.0, False)]
+        rule = fit_interval_rule(
+            samples, ev_candidates=[10.0], trend_candidates=[0.5]
+        )
+        assert rule.ev_threshold == 10.0
+        assert rule.trend_threshold == 0.5

@@ -1,0 +1,93 @@
+"""Unit tests for the network/compute cost model."""
+
+import pytest
+
+from repro.cluster.network import CommMode, NetworkModel
+
+
+@pytest.fixture()
+def net():
+    return NetworkModel()
+
+
+class TestComputeModel:
+    def test_scales_with_ops(self, net):
+        assert net.compute_time(2 * net.teps) == pytest.approx(2.0)
+
+    def test_vertex_ops_counted(self, net):
+        t = net.compute_time(0, net.teps)
+        assert t == pytest.approx(net.apply_cost_factor)
+
+    def test_zero_ops_free(self, net):
+        assert net.compute_time(0) == 0.0
+
+
+class TestLatencies:
+    def test_barrier_zero_on_single_machine(self, net):
+        assert net.barrier_time(1) == 0.0
+
+    def test_barrier_grows_with_machines(self, net):
+        assert net.barrier_time(48) > net.barrier_time(8) > 0
+
+    def test_reference_machine_latency(self, net):
+        assert net.barrier_time(48) == pytest.approx(net.barrier_latency_s)
+        assert net.a2a_time(0, 48) == pytest.approx(net.a2a_latency_s)
+
+
+class TestCommCurves:
+    def test_a2a_linear_in_volume(self, net):
+        base = net.a2a_time(0, 48)
+        t1 = net.a2a_time(1e6, 48) - base
+        t2 = net.a2a_time(2e6, 48) - base
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_m2m_nondecreasing_beyond_vertex(self, net):
+        # polynomial clamped at its vertex: time never decreases
+        prev = 0.0
+        for mb in range(0, 50, 2):
+            t = net.m2m_time(mb * 1e6, 48)
+            assert t >= prev - 1e-12
+            prev = t
+
+    def test_m2m_sublinear(self, net):
+        # negative quadratic term: marginal cost of volume shrinks
+        d1 = net.m2m_time(1e6, 48) - net.m2m_time(0, 48)
+        d2 = net.m2m_time(2e6, 48) - net.m2m_time(1e6, 48)
+        assert d2 < d1
+
+    def test_exchange_time_dispatch(self, net):
+        assert net.exchange_time(CommMode.ALL_TO_ALL, 1e6, 48) == pytest.approx(
+            net.a2a_time(1e6, 48)
+        )
+        assert net.exchange_time(
+            CommMode.MIRRORS_TO_MASTER, 1e6, 48
+        ) == pytest.approx(net.m2m_time(1e6, 48))
+
+
+class TestModeSwitch:
+    def test_a2a_for_small_traffic(self, net):
+        # tiny exchange: one round latency beats two
+        assert net.pick_mode(1e3, 1e3, 48) is CommMode.ALL_TO_ALL
+
+    def test_m2m_for_large_skewed_traffic(self, net):
+        # heavily replicated vertices: a2a volume is several times m2m's
+        vol_m2m = 2e6
+        vol_a2a = 4 * vol_m2m
+        assert net.pick_mode(vol_a2a, vol_m2m, 48) is CommMode.MIRRORS_TO_MASTER
+
+    def test_crossover_exists(self, net):
+        # walking up the volume axis with a fixed a2a/m2m ratio crosses
+        # from a2a to m2m exactly once
+        modes = [
+            net.pick_mode(3 * v, v, 48)
+            for v in [1e3, 1e4, 1e5, 1e6, 5e6, 2e7]
+        ]
+        assert modes[0] is CommMode.ALL_TO_ALL
+        assert modes[-1] is CommMode.MIRRORS_TO_MASTER
+        flips = sum(1 for a, b in zip(modes, modes[1:]) if a is not b)
+        assert flips == 1
+
+    def test_async_message_time(self, net):
+        assert net.async_messages_time(100) == pytest.approx(
+            100 * net.msg_latency_s
+        )

@@ -1,0 +1,133 @@
+"""Unit tests for the distributed graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.digraph import DiGraph
+from repro.partition.base import partition_graph
+from repro.partition.partitioned_graph import PartitionedGraph
+
+
+class TestBuild:
+    def test_validates(self, er_partitioned):
+        er_partitioned.validate()
+
+    def test_every_vertex_has_master(self, er_partitioned):
+        pg = er_partitioned
+        assert pg.master_of.shape == (pg.graph.num_vertices,)
+        for v in range(pg.graph.num_vertices):
+            assert pg.master_of[v] in pg.replicas_of(v)
+
+    def test_edges_partition_exactly(self, er_partitioned):
+        seen = np.zeros(er_partitioned.graph.num_edges, dtype=int)
+        for mg in er_partitioned.machines:
+            np.add.at(seen, mg.eglobal, 1)
+        assert np.all(seen == 1)
+
+    def test_local_endpoint_resolution(self, er_partitioned):
+        g = er_partitioned.graph
+        for mg in er_partitioned.machines:
+            assert np.array_equal(mg.vertices[mg.esrc], g.src[mg.eglobal])
+            assert np.array_equal(mg.vertices[mg.edst], g.dst[mg.eglobal])
+
+    def test_replication_factor_matches_machine_lists(self, er_partitioned):
+        total = sum(mg.num_local_vertices for mg in er_partitioned.machines)
+        expected = total / er_partitioned.graph.num_vertices
+        assert er_partitioned.replication_factor == pytest.approx(expected)
+
+    def test_exactly_one_master_per_vertex(self, er_partitioned):
+        count = np.zeros(er_partitioned.graph.num_vertices, dtype=int)
+        for mg in er_partitioned.machines:
+            np.add.at(count, mg.vertices[mg.is_master], 1)
+        assert np.all(count == 1)
+
+    def test_out_deg_global_is_global(self, er_partitioned):
+        g = er_partitioned.graph
+        out = g.out_degrees()
+        for mg in er_partitioned.machines:
+            assert np.array_equal(mg.out_deg_global, out[mg.vertices])
+
+    def test_lonely_vertices_get_home(self):
+        g = DiGraph(6, [0], [1])
+        pg = PartitionedGraph.build(g, np.array([0], dtype=np.int32), 3)
+        pg.validate()
+        assert np.all(pg.num_replicas >= 1)
+
+    def test_single_machine(self, er_graph):
+        asg = np.zeros(er_graph.num_edges, dtype=np.int32)
+        pg = PartitionedGraph.build(er_graph, asg, 1)
+        pg.validate()
+        assert pg.replication_factor == pytest.approx(1.0)
+        assert pg.machines[0].num_local_edges == er_graph.num_edges
+
+    def test_rejects_bad_assignment(self, er_graph):
+        bad = np.full(er_graph.num_edges, 9, dtype=np.int32)
+        with pytest.raises(PartitionError):
+            PartitionedGraph.build(er_graph, bad, 4)
+
+    def test_rejects_short_assignment(self, er_graph):
+        with pytest.raises(PartitionError, match="one entry per edge"):
+            PartitionedGraph.build(er_graph, np.zeros(3, dtype=np.int32), 4)
+
+    def test_global_to_local_roundtrip(self, er_partitioned):
+        for mg in er_partitioned.machines[:3]:
+            gids = mg.vertices[:: max(1, mg.num_local_vertices // 7)]
+            lids = mg.global_to_local(gids)
+            assert np.array_equal(mg.vertices[lids], gids)
+
+
+class TestParallelEdges:
+    def _build(self, graph, P, parallel):
+        asg = partition_graph(graph, P, "coordinated", seed=2)
+        return PartitionedGraph.build(graph, asg, P, parallel_eids=parallel)
+
+    def test_copies_on_every_target_machine(self, er_graph):
+        parallel = np.arange(0, 40)
+        pg = self._build(er_graph, 5, parallel)
+        pg.validate()
+        copies = np.zeros(er_graph.num_edges, dtype=int)
+        for mg in pg.machines:
+            np.add.at(copies, mg.eglobal, 1)
+        for e in parallel:
+            t = er_graph.dst[e]
+            assert copies[e] == pg.num_replicas[t]
+
+    def test_source_replicas_added(self, er_graph):
+        parallel = np.arange(0, 40)
+        pg = self._build(er_graph, 5, parallel)
+        for e in parallel:
+            s, t = er_graph.src[e], er_graph.dst[e]
+            assert set(pg.replicas_of(t)).issubset(set(pg.replicas_of(s)))
+
+    def test_parallel_flag_set(self, er_graph):
+        parallel = np.array([0, 1, 2])
+        pg = self._build(er_graph, 4, parallel)
+        for mg in pg.machines:
+            par_mask = np.isin(mg.eglobal, parallel)
+            assert np.array_equal(mg.eparallel, par_mask)
+
+    def test_assignment_masked_for_parallel(self, er_graph):
+        parallel = np.array([5, 6])
+        pg = self._build(er_graph, 4, parallel)
+        assert np.all(pg.assignment[parallel] == -1)
+        keep = np.ones(er_graph.num_edges, dtype=bool)
+        keep[parallel] = False
+        assert np.all(pg.assignment[keep] >= 0)
+
+    def test_bidirectional_dispatch(self, er_graph):
+        parallel = np.arange(0, 10)
+        asg = partition_graph(er_graph, 4, "coordinated", seed=2)
+        pg = PartitionedGraph.build(
+            er_graph, asg, 4, parallel_eids=parallel, bidirectional=True
+        )
+        for e in parallel:
+            s, t = er_graph.src[e], er_graph.dst[e]
+            assert set(pg.replicas_of(s)) == set(pg.replicas_of(t))
+
+    def test_out_of_range_parallel_id(self, er_graph):
+        asg = partition_graph(er_graph, 4, "coordinated", seed=2)
+        with pytest.raises(PartitionError, match="parallel edge id"):
+            PartitionedGraph.build(
+                er_graph, asg, 4, parallel_eids=[er_graph.num_edges + 5]
+            )

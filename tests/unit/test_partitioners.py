@@ -1,0 +1,133 @@
+"""Unit tests for the vertex-cut / edge-cut partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.base import PARTITIONER_NAMES, partition_graph
+from repro.partition.coordinated_cut import coordinated_cut
+from repro.partition.edge_cut import edge_cut
+from repro.partition.grid_cut import _grid_shape, grid_cut
+from repro.partition.hybrid_cut import hybrid_cut
+from repro.partition.random_cut import random_cut
+from repro.partition.replication import replication_factor
+
+
+ALL_PARTITIONERS = ["random", "grid", "coordinated", "oblivious", "hybrid", "edge"]
+
+
+class TestDispatch:
+    def test_names_registered(self):
+        for name in ALL_PARTITIONERS:
+            assert name in PARTITIONER_NAMES
+
+    def test_unknown_partitioner(self, er_graph):
+        with pytest.raises(PartitionError, match="unknown partitioner"):
+            partition_graph(er_graph, 4, "bogus")
+
+    def test_invalid_machine_count(self, er_graph):
+        with pytest.raises(PartitionError):
+            partition_graph(er_graph, 0)
+
+    @pytest.mark.parametrize("method", ALL_PARTITIONERS)
+    def test_every_edge_assigned_in_range(self, er_graph, method):
+        asg = partition_graph(er_graph, 7, method, seed=3)
+        assert asg.shape == (er_graph.num_edges,)
+        assert asg.min() >= 0 and asg.max() < 7
+
+    @pytest.mark.parametrize("method", ALL_PARTITIONERS)
+    def test_deterministic_given_seed(self, er_graph, method):
+        a = partition_graph(er_graph, 5, method, seed=9)
+        b = partition_graph(er_graph, 5, method, seed=9)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("method", ALL_PARTITIONERS)
+    def test_single_machine(self, er_graph, method):
+        asg = partition_graph(er_graph, 1, method, seed=1)
+        assert np.all(asg == 0)
+
+
+class TestLoadBalance:
+    @pytest.mark.parametrize("method", ["random", "grid", "coordinated"])
+    def test_edge_balance(self, er_graph, method):
+        P = 6
+        asg = partition_graph(er_graph, P, method, seed=2)
+        loads = np.bincount(asg, minlength=P)
+        assert loads.max() <= 1.6 * er_graph.num_edges / P
+
+
+class TestCoordinated:
+    def test_capacity_respected(self, er_graph):
+        asg = coordinated_cut(er_graph, 6, seed=1, balance_slack=0.10)
+        loads = np.bincount(asg, minlength=6)
+        cap = int(1.10 * er_graph.num_edges / 6)
+        assert loads.max() <= cap + 1
+
+    def test_lower_lambda_than_random(self, webby_graph):
+        P = 8
+        lam_coord = replication_factor(
+            webby_graph, coordinated_cut(webby_graph, P, seed=1), P
+        )
+        lam_rand = replication_factor(
+            webby_graph, random_cut(webby_graph, P, seed=1), P
+        )
+        assert lam_coord < lam_rand
+
+    def test_shuffle_option_changes_result(self, er_graph):
+        a = coordinated_cut(er_graph, 4, seed=1, shuffle_edges=False)
+        b = coordinated_cut(er_graph, 4, seed=1, shuffle_edges=True)
+        assert not np.array_equal(a, b)
+
+    def test_too_many_machines_rejected(self, er_graph):
+        with pytest.raises(PartitionError, match="supports up to"):
+            coordinated_cut(er_graph, 2000)
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        asg = coordinated_cut(DiGraph(3, [], []), 4)
+        assert asg.size == 0
+
+
+class TestGrid:
+    def test_grid_shape_covers(self):
+        for p in (4, 6, 9, 12, 48, 7):
+            r, c = _grid_shape(p)
+            assert r * c >= p
+
+    def test_replication_bounded_by_grid(self, social_graph):
+        P = 16  # 4x4 grid
+        asg = grid_cut(social_graph, P, seed=1)
+        lam = replication_factor(social_graph, asg, P)
+        r, c = _grid_shape(P)
+        # per-vertex bound is r + c - 1; the mean must be well below it
+        assert lam <= r + c - 1
+
+
+class TestHybrid:
+    def test_low_degree_edges_follow_target(self, er_graph):
+        P = 5
+        asg = hybrid_cut(er_graph, P, seed=2, degree_threshold=10**9)
+        # threshold so high every edge is "low-degree": grouped by target
+        for v in range(0, 50):
+            eids = er_graph.in_edge_ids(v)
+            if eids.size:
+                assert np.unique(asg[eids]).size == 1
+
+    def test_high_degree_targets_spread(self, social_graph):
+        P = 8
+        asg = hybrid_cut(social_graph, P, seed=2, degree_threshold=5)
+        in_deg = social_graph.in_degrees()
+        hub = int(np.argmax(in_deg))
+        eids = social_graph.in_edge_ids(hub)
+        assert np.unique(asg[eids]).size > 1
+
+
+class TestEdgeCut:
+    def test_edges_follow_source(self, er_graph):
+        P = 5
+        asg = edge_cut(er_graph, P, seed=3)
+        for v in range(0, 50):
+            eids = er_graph.out_edge_ids(v)
+            if eids.size:
+                assert np.unique(asg[eids]).size == 1

@@ -1,0 +1,69 @@
+"""Unit tests for results persistence (fast path: a reduced document)."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.persistence import render_markdown, write_results
+
+
+@pytest.fixture()
+def small_doc():
+    """A hand-built document with the full schema but one cell each."""
+    graphs = (
+        "web-uk-mini", "web-google-mini", "road-usa-mini", "road-ca-mini",
+        "twitter-mini", "livejournal-mini", "enwiki-mini", "youtube-mini",
+    )
+    table1 = [
+        {
+            "graph": g, "class": "web", "vertices": 10, "edges": 20,
+            "ev_ratio": 2.0, "lambda": 1.5, "paper_ev_ratio": 2.1,
+            "paper_lambda": 2.2,
+        }
+        for g in graphs
+    ]
+    cells = {
+        f"{a}/{g}": {
+            "speedup": 2.0, "norm_syncs": 0.3, "norm_traffic": 0.5,
+            "sync_time_s": 1.0, "lazy_time_s": 0.5,
+        }
+        for a in ("kcore", "pagerank", "sssp", "cc")
+        for g in graphs
+    }
+    fig12 = {
+        f"{alg}/{g}/{engine}": [1.0, 0.9]
+        for alg in ("pagerank", "sssp")
+        for g in ("web-uk-mini", "road-usa-mini", "twitter-mini")
+        for engine in ("powergraph-sync", "powergraph-async", "lazy-block")
+    }
+    return {
+        "machines": 48,
+        "fig12_machines": [8, 16],
+        "table1": table1,
+        "fig9_10_11": cells,
+        "fig12": fig12,
+    }
+
+
+class TestRendering:
+    def test_markdown_contains_all_sections(self, small_doc):
+        text = render_markdown(small_doc)
+        for needle in ("Table 1", "Fig 9", "Fig 10", "Fig 11", "Fig 12"):
+            assert needle in text
+        assert "road-usa-mini" in text
+
+    def test_write_results_files(self, tmp_path, small_doc):
+        out = write_results(str(tmp_path / "res"), doc=small_doc)
+        assert out is small_doc
+        with open(tmp_path / "res" / "results.json") as fh:
+            loaded = json.load(fh)
+        assert loaded["machines"] == 48
+        assert os.path.exists(tmp_path / "res" / "RESULTS.md")
+
+    def test_json_round_trip_stable(self, tmp_path, small_doc):
+        write_results(str(tmp_path / "a"), doc=small_doc)
+        write_results(str(tmp_path / "b"), doc=small_doc)
+        a = (tmp_path / "a" / "results.json").read_text()
+        b = (tmp_path / "b" / "results.json").read_text()
+        assert a == b

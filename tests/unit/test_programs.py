@@ -1,0 +1,173 @@
+"""Unit tests for the delta programs' vectorized hooks.
+
+These drive each program's make_state/initial_scatter/apply/edge_message
+directly on a single-machine MachineGraph, independent of any engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFSProgram,
+    ConnectedComponentsProgram,
+    KCoreProgram,
+    PageRankDeltaProgram,
+    SSSPProgram,
+)
+from repro.errors import AlgorithmError
+from repro.graph.digraph import DiGraph
+from repro.partition.partitioned_graph import PartitionedGraph
+
+
+def single_machine(graph):
+    asg = np.zeros(graph.num_edges, dtype=np.int32)
+    return PartitionedGraph.build(graph, asg, 1).machines[0]
+
+
+@pytest.fixture()
+def chain_mg():
+    # 0 -> 1 -> 2 with weights 2, 3
+    g = DiGraph(3, [0, 1], [1, 2], weights=[2.0, 3.0])
+    return single_machine(g)
+
+
+class TestPageRank:
+    def test_param_validation(self):
+        with pytest.raises(AlgorithmError):
+            PageRankDeltaProgram(damping=1.5)
+        with pytest.raises(AlgorithmError):
+            PageRankDeltaProgram(tolerance=0.0)
+
+    def test_initial_state(self, chain_mg):
+        p = PageRankDeltaProgram()
+        st = p.make_state(chain_mg)
+        assert np.allclose(st["vdata"], 0.15)
+        assert np.allclose(st["pending"], 0.0)
+
+    def test_initial_scatter_bootstrap_mass(self, chain_mg):
+        p = PageRankDeltaProgram()
+        st = p.make_state(chain_mg)
+        delta, active = p.initial_scatter(chain_mg, st)
+        assert np.allclose(delta, 0.15)
+        assert active.all()
+
+    def test_apply_accumulates_and_fires(self, chain_mg):
+        p = PageRankDeltaProgram(tolerance=1e-3)
+        st = p.make_state(chain_mg)
+        idx = np.array([1])
+        delta, fire = p.apply(chain_mg, st, idx, np.array([0.4]))
+        assert st["vdata"][1] == pytest.approx(0.15 + 0.85 * 0.4)
+        assert fire[0]
+        assert delta[0] == pytest.approx(0.85 * 0.4)
+        assert st["pending"][1] == 0.0  # fired mass handed to scatter
+
+    def test_below_tolerance_holds_mass(self, chain_mg):
+        p = PageRankDeltaProgram(tolerance=1.0)
+        st = p.make_state(chain_mg)
+        delta, fire = p.apply(chain_mg, st, np.array([0]), np.array([0.1]))
+        assert not fire[0]
+        assert st["pending"][0] == pytest.approx(0.085)
+
+    def test_edge_message_divides_by_global_outdeg(self, chain_mg):
+        p = PageRankDeltaProgram()
+        msg = p.edge_message(chain_mg, np.array([0]), np.array([1.0]))
+        assert msg[0] == pytest.approx(1.0)  # vertex 0 has out-degree 1
+
+
+class TestSSSP:
+    def test_source_validation(self):
+        with pytest.raises(AlgorithmError):
+            SSSPProgram(source=-1)
+
+    def test_initial_distances(self, chain_mg):
+        st = SSSPProgram(source=0).make_state(chain_mg)
+        assert st["vdata"][0] == 0.0
+        assert np.isinf(st["vdata"][1:]).all()
+
+    def test_apply_relaxes_monotonically(self, chain_mg):
+        p = SSSPProgram(source=0)
+        st = p.make_state(chain_mg)
+        _, fire = p.apply(chain_mg, st, np.array([1]), np.array([5.0]))
+        assert fire[0] and st["vdata"][1] == 5.0
+        _, fire = p.apply(chain_mg, st, np.array([1]), np.array([9.0]))
+        assert not fire[0] and st["vdata"][1] == 5.0
+
+    def test_edge_message_adds_weight(self, chain_mg):
+        p = SSSPProgram(source=0)
+        msg = p.edge_message(chain_mg, np.array([0, 1]), np.array([1.0, 1.0]))
+        assert msg.tolist() == [3.0, 4.0]
+
+    def test_needs_weights(self):
+        assert SSSPProgram().needs_weights
+
+
+class TestCC:
+    def test_initial_labels_are_global_ids(self, chain_mg):
+        st = ConnectedComponentsProgram().make_state(chain_mg)
+        assert st["vdata"].tolist() == [0.0, 1.0, 2.0]
+
+    def test_apply_takes_min(self, chain_mg):
+        p = ConnectedComponentsProgram()
+        st = p.make_state(chain_mg)
+        _, fire = p.apply(chain_mg, st, np.array([2]), np.array([0.0]))
+        assert fire[0] and st["vdata"][2] == 0.0
+
+    def test_requires_symmetric(self):
+        assert ConnectedComponentsProgram().requires_symmetric
+
+
+class TestKCore:
+    def test_param_validation(self):
+        with pytest.raises(AlgorithmError):
+            KCoreProgram(k=0)
+
+    def test_core_initialized_to_degree(self):
+        g = DiGraph(3, [0, 1, 1, 2], [1, 0, 2, 1])  # symmetric chain
+        mg = single_machine(g)
+        st = KCoreProgram(k=2).make_state(mg)
+        assert st["vdata"].tolist() == [1.0, 2.0, 1.0]
+
+    def test_bootstrap_deletes_underdegree(self):
+        g = DiGraph(3, [0, 1, 1, 2], [1, 0, 2, 1])
+        mg = single_machine(g)
+        p = KCoreProgram(k=2)
+        st = p.make_state(mg)
+        init_delta, active = p.initial_scatter(mg, st)
+        assert init_delta is None and active.all()
+        idx = np.arange(3)
+        delta, fire = p.apply(mg, st, idx, np.zeros(3))
+        # endpoints have degree 1 < 2: deleted and firing a 1
+        assert fire.tolist() == [True, False, True]
+        assert st["deleted"].tolist() == [True, False, True]
+        assert np.all(delta[fire] == 1.0)
+
+    def test_deleted_vertices_ignore_messages(self):
+        g = DiGraph(2, [0, 1], [1, 0])
+        mg = single_machine(g)
+        p = KCoreProgram(k=5)
+        st = p.make_state(mg)
+        p.apply(mg, st, np.array([0]), np.array([0.0]))  # deletes 0
+        core_before = st["vdata"][0]
+        p.apply(mg, st, np.array([0]), np.array([3.0]))
+        assert st["vdata"][0] == core_before == 0.0
+
+    def test_deletion_fires_once(self):
+        g = DiGraph(2, [0, 1], [1, 0])
+        mg = single_machine(g)
+        p = KCoreProgram(k=5)
+        st = p.make_state(mg)
+        _, fire1 = p.apply(mg, st, np.array([0]), np.array([0.0]))
+        _, fire2 = p.apply(mg, st, np.array([0]), np.array([1.0]))
+        assert fire1[0] and not fire2[0]
+
+
+class TestBFS:
+    def test_unit_hop_messages(self, chain_mg):
+        p = BFSProgram(source=0)
+        msg = p.edge_message(chain_mg, np.array([0]), np.array([3.0]))
+        assert msg[0] == 4.0
+
+    def test_source_level_zero(self, chain_mg):
+        st = BFSProgram(source=2).make_state(chain_mg)
+        assert st["vdata"][2] == 0.0
+        assert np.isinf(st["vdata"][:2]).all()

@@ -1,0 +1,79 @@
+"""Unit tests for graph property computations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import (
+    compute_properties,
+    degree_gini,
+    estimate_diameter,
+    weakly_connected_components,
+)
+
+
+class TestComponents:
+    def test_single_component(self, tiny_graph):
+        labels = weakly_connected_components(tiny_graph)
+        # 0..4 are connected; 5 is isolated
+        assert np.unique(labels[:5]).size == 1
+        assert labels[5] == 5
+
+    def test_disconnected(self):
+        g = DiGraph(4, [0, 2], [1, 3])
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_direction_ignored(self):
+        g = DiGraph(3, [1, 2], [0, 1])
+        labels = weakly_connected_components(g)
+        assert np.unique(labels).size == 1
+
+    def test_labels_are_minima(self):
+        g = DiGraph(4, [3, 2], [2, 1])
+        labels = weakly_connected_components(g)
+        assert set(labels[1:].tolist()) == {1}
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        n = 30
+        g = DiGraph(n, np.arange(n - 1), np.arange(1, n))
+        assert estimate_diameter(g, num_probes=2) == n - 1
+
+    def test_star_graph(self):
+        g = DiGraph(10, np.zeros(9, dtype=int), np.arange(1, 10))
+        assert estimate_diameter(g, num_probes=3) == 2
+
+    def test_empty(self):
+        assert estimate_diameter(DiGraph(0, [], [])) == 0
+
+
+class TestGini:
+    def test_regular_graph_near_zero(self):
+        n = 20
+        g = DiGraph(n, np.arange(n), (np.arange(n) + 1) % n)
+        assert degree_gini(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_skewed(self):
+        g = DiGraph(50, np.zeros(49, dtype=int), np.arange(1, 50))
+        assert degree_gini(g) > 0.4
+
+    def test_empty(self):
+        assert degree_gini(DiGraph(0, [], [])) == 0.0
+
+
+class TestSummary:
+    def test_compute_properties(self, tiny_graph):
+        p = compute_properties(tiny_graph)
+        assert p.num_vertices == 6
+        assert p.num_edges == 5
+        assert p.num_weak_components == 2
+        assert p.giant_component_fraction == pytest.approx(5 / 6)
+        assert p.max_out_degree == 2
+
+    def test_skip_diameter(self, er_graph):
+        p = compute_properties(er_graph, diameter_probes=0)
+        assert p.diameter_estimate == 0

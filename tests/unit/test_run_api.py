@@ -1,0 +1,93 @@
+"""Unit tests for the public repro.run() entry point."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+
+
+class TestRun:
+    def test_run_by_names(self):
+        r = repro.run("road-ca-mini", "cc", machines=4)
+        assert r.engine == "lazy-block"
+        assert r.stats.converged
+
+    def test_run_with_program_instance(self, er_weighted):
+        prog = repro.make_program("sssp", source=3)
+        r = repro.run(er_weighted, prog, machines=4)
+        assert r.values[3] == 0.0
+
+    def test_algorithm_params_forwarded(self, er_symmetric):
+        r = repro.run(er_symmetric, "kcore", machines=4, k=4)
+        # k=4 core members keep core >= 4
+        survivors = r.values[r.values > 0]
+        assert survivors.size == 0 or survivors.min() >= 4
+
+    def test_params_with_instance_rejected(self, er_graph):
+        prog = repro.make_program("pagerank")
+        with pytest.raises(ConfigError, match="algorithm_params"):
+            repro.run(er_graph, prog, machines=2, tolerance=1e-4)
+
+    def test_unknown_engine(self, er_graph):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            repro.run(er_graph, "pagerank", engine="bogus", machines=2)
+
+    def test_interval_rejected_for_eager(self, er_graph):
+        with pytest.raises(ConfigError, match="interval"):
+            repro.run(
+                er_graph, "pagerank", engine="powergraph-sync",
+                machines=2, interval="simple",
+            )
+
+    def test_interval_by_name(self, er_graph):
+        r = repro.run(er_graph, "pagerank", machines=2, interval="never")
+        assert r.stats.local_iterations == 0
+
+    def test_every_engine_runs(self, er_weighted):
+        for engine in repro.ENGINE_NAMES:
+            r = repro.run(er_weighted, "sssp", engine=engine, machines=3)
+            assert r.stats.converged, engine
+
+
+class TestPrepareGraph:
+    def test_symmetrizes_for_cc(self, er_graph):
+        prog = repro.make_program("cc")
+        g = repro.prepare_graph(er_graph, prog)
+        assert np.array_equal(g.in_degrees(), g.out_degrees())
+
+    def test_attaches_weights_for_sssp(self, er_graph):
+        prog = repro.make_program("sssp")
+        g = repro.prepare_graph(er_graph, prog)
+        assert g.weights is not None
+
+    def test_dataset_resolution(self):
+        prog = repro.make_program("pagerank")
+        g = repro.prepare_graph("road-ca-mini", prog)
+        assert g.name == "road-ca-mini"
+
+    def test_weighted_dataset_for_sssp(self):
+        prog = repro.make_program("sssp")
+        g = repro.prepare_graph("road-ca-mini", prog)
+        assert g.weights is not None
+
+
+class TestRegistry:
+    def test_program_names(self):
+        assert set(repro.program_names()) == {
+            "pagerank", "ppr", "sssp", "cc", "kcore", "bfs",
+        }
+
+    def test_unknown_program(self):
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            repro.make_program("nope")
+
+    def test_engine_names(self):
+        assert set(repro.ENGINE_NAMES) == {
+            "powergraph-sync",
+            "powergraph-async",
+            "lazy-block",
+            "lazy-vertex",
+        }

@@ -1,0 +1,84 @@
+"""Tests for the SCC driver and its Tarjan reference."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import scc_reference, strongly_connected_components
+from repro.errors import AlgorithmError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+
+
+def nx_labels(graph):
+    g = nx.DiGraph(list(zip(graph.src.tolist(), graph.dst.tolist())))
+    g.add_nodes_from(range(graph.num_vertices))
+    out = np.empty(graph.num_vertices)
+    for comp in nx.strongly_connected_components(g):
+        m = min(comp)
+        for v in comp:
+            out[v] = m
+    return out
+
+
+class TestTarjanReference:
+    def test_cycle_is_one_scc(self):
+        g = DiGraph(3, [0, 1, 2], [1, 2, 0])
+        assert scc_reference(g).tolist() == [0.0, 0.0, 0.0]
+
+    def test_dag_is_all_singletons(self):
+        g = DiGraph(4, [0, 1, 2], [1, 2, 3])
+        assert scc_reference(g).tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_two_cycles_with_bridge(self):
+        # 0<->1, 2<->3, bridge 1->2
+        g = DiGraph(4, [0, 1, 1, 2, 3], [1, 0, 2, 3, 2])
+        assert scc_reference(g).tolist() == [0.0, 0.0, 2.0, 2.0]
+
+    def test_matches_networkx(self):
+        g = erdos_renyi_graph(150, 450, seed=9)
+        assert np.array_equal(scc_reference(g), nx_labels(g))
+
+    def test_deep_path_no_recursion_limit(self):
+        n = 5000  # would overflow Python's recursion limit if recursive
+        g = DiGraph(n, np.arange(n - 1), np.arange(1, n))
+        labels = scc_reference(g)
+        assert np.array_equal(labels, np.arange(n, dtype=float))
+
+
+class TestDriver:
+    @pytest.mark.parametrize("engine", ["lazy-block", "powergraph-sync"])
+    def test_matches_tarjan(self, engine):
+        g = erdos_renyi_graph(200, 600, seed=4)
+        labels, stats = strongly_connected_components(
+            g, machines=4, engine=engine
+        )
+        assert np.array_equal(labels, scc_reference(g))
+        assert stats.converged
+
+    def test_small_graphs_run_locally(self):
+        g = erdos_renyi_graph(40, 120, seed=2)
+        labels, stats = strongly_connected_components(
+            g, machines=4, local_threshold=64
+        )
+        assert np.array_equal(labels, scc_reference(g))
+        # everything under the threshold: no distributed runs at all
+        assert stats.supersteps == 0
+
+    def test_distributed_costs_aggregated(self):
+        g = erdos_renyi_graph(300, 1200, seed=6)
+        labels, stats = strongly_connected_components(
+            g, machines=4, local_threshold=16
+        )
+        assert np.array_equal(labels, scc_reference(g))
+        assert stats.modeled_time_s > 0
+        assert stats.global_syncs > 0
+
+    def test_empty_graph(self):
+        labels, stats = strongly_connected_components(DiGraph(0, [], []))
+        assert labels.size == 0 and stats.converged
+
+    def test_unknown_engine(self):
+        g = erdos_renyi_graph(10, 20, seed=1)
+        with pytest.raises(AlgorithmError, match="unknown engine"):
+            strongly_connected_components(g, engine="bogus")

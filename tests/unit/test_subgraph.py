@@ -1,0 +1,53 @@
+"""Unit tests for DiGraph.subgraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+class TestSubgraph:
+    def test_basic_induction(self, tiny_graph):
+        sub, keep = tiny_graph.subgraph([0, 1, 2])
+        assert keep.tolist() == [0, 1, 2]
+        assert sub.num_vertices == 3
+        # the cycle 0->1->2->0 survives; edges to 3/4 are dropped
+        assert sub.num_edges == 3
+
+    def test_renumbering(self, tiny_graph):
+        sub, keep = tiny_graph.subgraph([2, 3, 4])
+        assert keep.tolist() == [2, 3, 4]
+        assert sub.has_edge(0, 1)  # 2->3
+        assert sub.has_edge(1, 2)  # 3->4
+
+    def test_weights_preserved(self):
+        g = DiGraph(3, [0, 1], [1, 2], weights=[5.0, 7.0])
+        sub, _ = g.subgraph([1, 2])
+        assert sub.weights.tolist() == [7.0]
+
+    def test_duplicate_and_unsorted_input(self, tiny_graph):
+        sub, keep = tiny_graph.subgraph([2, 0, 2, 1])
+        assert keep.tolist() == [0, 1, 2]
+
+    def test_empty_selection(self, tiny_graph):
+        sub, keep = tiny_graph.subgraph([])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            tiny_graph.subgraph([99])
+
+    def test_full_selection_is_isomorphic(self, er_graph):
+        sub, keep = er_graph.subgraph(range(er_graph.num_vertices))
+        assert sub.structurally_equal(er_graph)
+
+    def test_edge_counts_consistent(self, er_graph):
+        rng = np.random.default_rng(3)
+        pick = rng.choice(er_graph.num_vertices, 50, replace=False)
+        sub, keep = er_graph.subgraph(pick)
+        inside = np.zeros(er_graph.num_vertices, dtype=bool)
+        inside[pick] = True
+        expected = int((inside[er_graph.src] & inside[er_graph.dst]).sum())
+        assert sub.num_edges == expected
