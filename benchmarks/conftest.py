@@ -11,12 +11,22 @@ Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 
 import pytest
 
+from repro.utils.timer import Timer
+
 
 def once(benchmark, fn, *args, **kwargs):
     """Measure ``fn`` exactly once (runs are deterministic simulations)."""
-    return benchmark.pedantic(
-        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    timer = Timer()
+
+    def timed(*a, **kw):
+        with timer:
+            return fn(*a, **kw)
+
+    result = benchmark.pedantic(
+        timed, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
     )
+    benchmark.extra_info["host_elapsed_s"] = timer.elapsed
+    return result
 
 
 @pytest.fixture()

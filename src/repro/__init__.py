@@ -32,6 +32,16 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.graph import DiGraph, dataset_info, dataset_names, load_dataset
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    export_trace,
+    load_trace,
+    summarize_trace,
+)
 from repro.partition import EdgeSplitConfig, PartitionedGraph, partition_graph
 from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
 from repro.run_api import ENGINE_NAMES, prepare_graph, run
@@ -71,6 +81,14 @@ __all__ = [
     "ClusterSim",
     "RunStats",
     "EngineResult",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "export_trace",
+    "load_trace",
+    "summarize_trace",
     "ReproError",
     "__version__",
 ]

@@ -30,6 +30,7 @@ from repro.partition.partitioned_graph import PartitionedGraph
 from repro.powergraph.engine_async import PowerGraphAsyncEngine
 from repro.powergraph.engine_sync import PowerGraphSyncEngine
 from repro.runtime.result import EngineResult
+from repro.utils.timer import Timer
 
 __all__ = [
     "get_prepared_graph",
@@ -111,13 +112,18 @@ def run_config(
     if use_cache and key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
 
+    timer = Timer()
+    timer.start()
     program = make_program(config.algorithm, **config.resolved_params())
+    timer.lap("program")
     graph = get_prepared_graph(
         config.graph, program.requires_symmetric, program.needs_weights
     )
+    timer.lap("graph")
     pgraph = get_partitioned(
         graph, config.machines, config.partitioner, config.seed, split
     )
+    timer.lap("partition")
     engine_cls = _ENGINE_TABLE.get(config.engine)
     if engine_cls is None:
         raise ConfigError(f"unknown engine {config.engine!r}")
@@ -128,6 +134,11 @@ def run_config(
     elif config.engine == "lazy-vertex":
         kwargs["coherency_mode"] = config.coherency_mode
     result = engine_cls(pgraph, program, **kwargs).run()
+    timer.lap("engine")
+    timer.stop()
+    # host-side cost split (distinct from the modeled cluster time)
+    for stage, seconds in timer.laps.items():
+        result.stats.extra[f"host_{stage}_s"] = seconds
     if use_cache:
         _RESULT_CACHE[key] = result
     return result

@@ -6,7 +6,8 @@ Mirrors how the paper's toolkits are driven from the shell:
 * ``compare``  — lazy vs PowerGraph Sync (a Fig 9/10/11 row);
 * ``datasets`` — the Table 1 registry;
 * ``info``     — structural properties of one graph;
-* ``sweep``    — machine-count scaling series (a Fig 12 panel).
+* ``sweep``    — machine-count scaling series (a Fig 12 panel);
+* ``report``   — per-phase breakdown of a recorded execution trace.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.bench.harness import compare_lazy_vs_sync
 from repro.bench.reporting import format_series, format_table
 from repro.graph.datasets import dataset_info, dataset_names, load_dataset
 from repro.graph.properties import compute_properties
+from repro.obs.sinks import TRACE_FORMATS
 from repro.run_api import ENGINE_NAMES, run
 
 __all__ = ["main", "build_parser"]
@@ -35,9 +37,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("--graph", required=True, help="dataset name")
         p.add_argument(
-            "--algorithm",
+            "--graph", default="road-ca-mini",
+            help="dataset name (default: road-ca-mini)",
+        )
+        p.add_argument(
+            "--algorithm", "--algo",
             required=True,
             choices=["pagerank", "ppr", "sssp", "cc", "kcore", "bfs"],
         )
@@ -62,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace", action="store_true",
         help="record and plot the per-superstep convergence trace",
+    )
+    p_run.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the structured execution trace to PATH",
+    )
+    p_run.add_argument(
+        "--trace-format", default="jsonl", choices=list(TRACE_FORMATS),
+        help="trace file format: jsonl or chrome (chrome://tracing)",
     )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
@@ -104,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_val.add_argument("--machines", type=int, default=8)
     p_val.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="per-phase time breakdown of a recorded trace (jsonl or chrome)",
+    )
+    p_rep.add_argument("trace", help="trace file written by run --trace-out")
     return parser
 
 
@@ -132,10 +151,15 @@ def _cmd_run(args) -> int:
         coherency_mode=args.coherency_mode,
         seed=args.seed,
         trace=getattr(args, "trace", False),
+        trace_out=getattr(args, "trace_out", None),
+        trace_format=getattr(args, "trace_format", None) or "jsonl",
         **kwargs,
     )
     print(f"{result.engine}/{result.algorithm} on {args.graph} "
           f"({args.machines} machines): {result.stats.summary()}")
+    if getattr(args, "trace_out", None):
+        print(f"trace written to {args.trace_out} "
+              f"({getattr(args, 'trace_format', None) or 'jsonl'})")
     if getattr(args, "trace", False):
         from repro.bench.plots import timeline_plot
 
@@ -321,6 +345,14 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.report import format_report, load_trace, summarize_trace
+
+    trace = load_trace(args.trace)
+    print(format_report(summarize_trace(trace)))
+    return 0
+
+
 def _cmd_figures(args) -> int:
     from repro.bench.persistence import write_results
 
@@ -338,6 +370,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
+    "report": _cmd_report,
 }
 
 

@@ -8,12 +8,28 @@ exactly those, plus the work/time breakdown the scalability study
 :class:`~repro.cluster.simulator.ClusterSim`; nothing here is modeled
 or estimated except ``modeled_time_s``, which integrates the
 :class:`~repro.cluster.network.NetworkModel` costs as the run proceeds.
+
+Since the observability refactor, ``RunStats`` is built on the
+:mod:`repro.obs` layer:
+
+* every instance owns a :class:`~repro.obs.metrics.MetricsRegistry`;
+  the historical free-form ``extra`` annotations are a dict-compatible
+  view over ``extra.*`` registry counters (``bump`` increments one);
+* every model-time charge (``add_compute``/``add_comm``/``add_sync``)
+  is forwarded to a bound :class:`~repro.obs.tracer.Tracer`, which is
+  how spans learn their modeled durations;
+* ``trace=True`` timeline snapshots share one schema across all engines
+  (``superstep``/``global_syncs``/``comm_bytes``/``modeled_time_s``/
+  ``active`` plus engine-specific fields) and are mirrored to the
+  tracer as counter samples.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List
+
+from repro.obs.metrics import ExtraView, MetricsRegistry
 
 __all__ = ["RunStats"]
 
@@ -55,8 +71,10 @@ class RunStats:
     converged:
         True when the run reached its fixpoint/tolerance (as opposed to
         hitting ``max_supersteps``).
-    extra:
-        Free-form per-engine annotations (e.g. comm-mode switch counts).
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry` (created
+        per instance). ``extra`` is a dict-compatible view over its
+        ``extra.*`` counters.
     timeline:
         Optional per-superstep snapshots (engines populate it when
         constructed with ``trace=True``): dicts with the superstep
@@ -79,30 +97,50 @@ class RunStats:
     comm_time_s: float = 0.0
     sync_time_s: float = 0.0
     converged: bool = False
-    extra: Dict[str, float] = field(default_factory=dict)
-    timeline: list = field(default_factory=list)
     busy_max_total_s: float = 0.0  # Σ per-fold busiest-machine compute
     busy_mean_total_s: float = 0.0  # Σ per-fold mean machine compute
+
+    def __post_init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.extra = ExtraView(self.metrics)
+        self.timeline: List[Dict] = []
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    def bind_tracer(self, tracer) -> None:
+        """Route every model-time charge and snapshot to ``tracer``.
+
+        Called by :meth:`repro.obs.tracer.Tracer.bind_stats`; engines
+        bind through :class:`~repro.runtime.base_engine.BaseEngine`.
+        """
+        self._tracer = tracer
+
+    def _charge(self, kind: str, seconds: float) -> None:
+        if self._tracer is not None:
+            self._tracer.on_charge(kind, seconds)
 
     # ------------------------------------------------------------------
     def add_compute(self, seconds: float) -> None:
         """Account modeled compute time (already max-reduced over machines)."""
         self.compute_time_s += seconds
         self.modeled_time_s += seconds
+        self._charge("compute", seconds)
 
     def add_comm(self, seconds: float) -> None:
         """Account modeled communication time."""
         self.comm_time_s += seconds
         self.modeled_time_s += seconds
+        self._charge("comm", seconds)
 
     def add_sync(self, seconds: float) -> None:
         """Account modeled synchronization (barrier) time."""
         self.sync_time_s += seconds
         self.modeled_time_s += seconds
+        self._charge("sync", seconds)
 
     def bump(self, key: str, amount: float = 1.0) -> None:
-        """Increment a free-form counter in :attr:`extra`."""
-        self.extra[key] = self.extra.get(key, 0.0) + amount
+        """Increment a free-form ``extra.*`` counter in the registry."""
+        self.metrics.counter(ExtraView.PREFIX + key).inc(amount)
 
     @property
     def compute_skew(self) -> float:
@@ -116,17 +154,35 @@ class RunStats:
             return 1.0
         return self.busy_max_total_s / self.busy_mean_total_s
 
-    def snapshot(self, **fields) -> Dict:
-        """Append a timeline entry (cumulative counters + caller fields)."""
+    def snapshot(self, active: int, **fields_) -> Dict:
+        """Append a timeline entry (cumulative counters + caller fields).
+
+        ``active`` is mandatory — it is the one engine-state field every
+        engine can report, and the uniform-schema contract the trace
+        tests assert: every entry carries ``superstep``,
+        ``global_syncs``, ``comm_bytes``, ``modeled_time_s``, ``active``.
+        """
         entry = {
             "superstep": self.supersteps,
             "global_syncs": self.global_syncs,
             "comm_bytes": self.comm_bytes,
             "modeled_time_s": self.modeled_time_s,
+            "active": int(active),
         }
-        entry.update(fields)
+        entry.update(fields_)
         self.timeline.append(entry)
+        if self._tracer is not None:
+            self._tracer.counter("active_vertices", int(active))
         return entry
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump: counters + registry + derived skew."""
+        out: Dict[str, Any] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["compute_skew"] = self.compute_skew
+        out["extra"] = dict(self.extra)
+        out["metrics"] = self.metrics.export()
+        return out
 
     # ------------------------------------------------------------------
     def summary(self) -> str:
@@ -134,5 +190,6 @@ class RunStats:
         return (
             f"time={self.modeled_time_s:.4f}s syncs={self.global_syncs} "
             f"traffic={self.comm_bytes / 1e6:.3f}MB msgs={self.comm_messages} "
-            f"supersteps={self.supersteps} converged={self.converged}"
+            f"supersteps={self.supersteps} cpoints={self.coherency_points} "
+            f"liters={self.local_iterations} converged={self.converged}"
         )

@@ -35,6 +35,7 @@ import numpy as np
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import CommMode, NetworkModel
 from repro.errors import EngineError
+from repro.obs.tracer import NULL_TRACER
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
 
@@ -69,6 +70,7 @@ class CoherencyExchanger:
         runtimes: List[MachineRuntime],
         mode: str = "dynamic",
         network: Optional[NetworkModel] = None,
+        tracer=None,
     ) -> None:
         if mode not in ("dynamic", "a2a", "m2m"):
             raise EngineError(f"unknown coherency mode {mode!r}")
@@ -82,6 +84,7 @@ class CoherencyExchanger:
         self.runtimes = runtimes
         self.mode = mode
         self.network = network or NetworkModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         n = pgraph.graph.num_vertices
         self._total = np.empty(n, dtype=np.float64)
         self._cnt = np.zeros(n, dtype=np.int64)
@@ -172,9 +175,20 @@ class CoherencyExchanger:
             )
         if self._last_mode is not None and mode is not self._last_mode:
             self._switches += 1
+            self.tracer.instant(
+                "mode-switch", to=mode.value, switches=self._switches
+            )
         self._last_mode = mode
         volume = vol_a2a if mode is CommMode.ALL_TO_ALL else vol_m2m
         messages = msgs_a2a if mode is CommMode.ALL_TO_ALL else msgs_m2m
+        self.tracer.instant(
+            "coherency-exchange",
+            mode=mode.value,
+            volume_a2a_bytes=vol_a2a,
+            volume_m2m_bytes=vol_m2m,
+            messages=messages,
+            vertices=int(exchanged.size),
+        )
 
         # ---- deliver: every replica folds the others' combined delta --
         use_inverse = not alg.idempotent

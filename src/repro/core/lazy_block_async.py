@@ -63,11 +63,13 @@ class LazyBlockAsyncEngine(BaseEngine):
         coherency_mode: str = "dynamic",
         max_supersteps: int = 100_000,
         trace: bool = False,
+        tracer=None,
     ) -> None:
-        super().__init__(pgraph, program, network, max_supersteps, trace)
+        super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
         self.interval_model = interval_model or AdaptiveIntervalModel()
         self.exchanger = CoherencyExchanger(
-            pgraph, program, self.runtimes, coherency_mode, self.sim.network
+            pgraph, program, self.runtimes, coherency_mode, self.sim.network,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -90,20 +92,31 @@ class LazyBlockAsyncEngine(BaseEngine):
         return worked, slowest
 
     def _local_stage(self) -> None:
-        """Run the bounded local computation stage (Stage 1)."""
-        budget = None
-        spent = 0.0
-        for _ in range(_MAX_LOCAL_ITERS):
-            worked, seconds = self._local_micro_iteration()
-            if not worked:
-                return  # local quiescence: nothing left to do anywhere
-            self.sim.stats.local_iterations += 1
-            if budget is None:
-                # doLC(): measure the stage's first micro-iteration online
-                budget = self.interval_model.local_budget(seconds)
-            spent += seconds
-            if spent >= budget:
-                return
+        """Run the bounded local computation stage (Stage 1).
+
+        No model-time charge happens here — machines' compute meters
+        accumulate and fold at the next coherency barrier (BSP max
+        semantics) — so the span carries the stage's slowest-machine
+        estimate in ``est_compute_s`` instead of a modeled width.
+        """
+        with self.tracer.span("local-computation", category="phase") as sp:
+            budget = None
+            spent = 0.0
+            iters = 0
+            for _ in range(_MAX_LOCAL_ITERS):
+                worked, seconds = self._local_micro_iteration()
+                if not worked:
+                    break  # local quiescence: nothing left to do anywhere
+                self.sim.stats.local_iterations += 1
+                iters += 1
+                if budget is None:
+                    # doLC(): measure the stage's first micro-iteration online
+                    budget = self.interval_model.local_budget(seconds)
+                spent += seconds
+                if spent >= budget:
+                    break
+            sp.set(iterations=iters, est_compute_s=spent,
+                   budget_s=budget if budget is not None else 0.0)
 
     # ------------------------------------------------------------------
     def _execute(self) -> bool:
@@ -114,46 +127,65 @@ class LazyBlockAsyncEngine(BaseEngine):
         prev_active: Optional[int] = None
         ev_ratio = self.pgraph.graph.ev_ratio
 
-        for _ in range(self.max_supersteps):
-            # ---- Stage 1: local computation ---------------------------
-            if do_local:
-                self._local_stage()
+        tracer = self.tracer
+        for step in range(self.max_supersteps):
+            with tracer.span("superstep", category="superstep", superstep=step):
+                # ---- Stage 1: local computation -----------------------
+                if do_local:
+                    self._local_stage()
 
-            # ---- Stage 2: data coherency -------------------------------
-            report = self.exchanger.exchange()
-            sim.bulk_transfer(report.volume_bytes, report.messages)
-            if not report.empty:
-                sim.coherency_exchange(report.mode, report.volume_bytes)
-            sim.barrier()  # the single global synchronization
-            sim.stats.coherency_points += 1
+                # ---- Stage 2: data coherency --------------------------
+                with tracer.span("coherency", category="phase") as sp:
+                    report = self.exchanger.exchange()
+                    sim.bulk_transfer(report.volume_bytes, report.messages)
+                    if not report.empty:
+                        sim.coherency_exchange(report.mode, report.volume_bytes)
+                    sim.barrier()  # the single global synchronization
+                    sim.stats.coherency_points += 1
+                    sp.set(mode=report.mode.value,
+                           volume_bytes=report.volume_bytes,
+                           exchanged=report.vertices_exchanged)
 
-            active = self._global_active_count()
-            if active == 0:
-                sim.stats.extra["mode_switches"] = self.exchanger.mode_switches
-                if self.trace:
-                    sim.stats.snapshot(active=0, do_local=do_local)
-                return True
+                active = self._global_active_count()
+                if active == 0:
+                    sim.stats.extra["mode_switches"] = self.exchanger.mode_switches
+                    if self.trace:
+                        sim.stats.snapshot(active=0, do_local=do_local)
+                    return True
 
-            # trend of the active-vertex count between coherency points
-            if prev_active:
-                trend = (prev_active - active) / prev_active
-            else:
-                trend = 0.0
-            do_local = self.interval_model.turn_on_lazy(ev_ratio, trend)
-            prev_active = active
-            if self.trace:
-                sim.stats.snapshot(
-                    active=active,
-                    trend=trend,
-                    do_local=do_local,
-                    mode=report.mode.value,
-                    exchanged=report.vertices_exchanged,
+                # trend of the active-vertex count between coherency points
+                if prev_active:
+                    trend = (prev_active - active) / prev_active
+                else:
+                    trend = 0.0
+                do_local = self.interval_model.turn_on_lazy(ev_ratio, trend)
+                tracer.instant(
+                    "interval-decision",
+                    superstep=step, ev_ratio=ev_ratio, trend=trend,
+                    do_local=do_local, active=active,
                 )
+                prev_active = active
+                if self.trace:
+                    sim.stats.snapshot(
+                        active=active,
+                        trend=trend,
+                        do_local=do_local,
+                        mode=report.mode.value,
+                        exchanged=report.vertices_exchanged,
+                    )
 
-            # ---- data coherency point: Apply + Scatter -----------------
-            for rt in self.runtimes:
-                idx, accum = rt.take_ready()
-                edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
-                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
-            sim.stats.supersteps += 1
+                # ---- data coherency point: Apply + Scatter ------------
+                with tracer.span("coherency-apply", category="phase"):
+                    for rt in self.runtimes:
+                        idx, accum = rt.take_ready()
+                        with tracer.span(
+                            "apply-machine", category="machine",
+                            machine=rt.mg.machine_id,
+                        ) as msp:
+                            edges, _ = rt.apply_and_scatter(
+                                idx, accum, track_delta=True
+                            )
+                            msp.set(edges=edges, applies=int(idx.size))
+                        self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+                sim.stats.supersteps += 1
         return False

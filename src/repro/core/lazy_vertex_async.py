@@ -58,13 +58,15 @@ class LazyVertexAsyncEngine(BaseEngine):
         max_delta_age: int = 3,
         max_supersteps: int = 100_000,
         trace: bool = False,
+        tracer=None,
     ) -> None:
-        super().__init__(pgraph, program, network, max_supersteps, trace)
+        super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
         if max_delta_age < 1:
             raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")
         self.max_delta_age = max_delta_age
         self.exchanger = CoherencyExchanger(
-            pgraph, program, self.runtimes, coherency_mode, self.sim.network
+            pgraph, program, self.runtimes, coherency_mode, self.sim.network,
+            tracer=self.tracer,
         )
         self._age: List[np.ndarray] = [
             np.zeros(mg.num_local_vertices, dtype=np.int64)
@@ -80,47 +82,74 @@ class LazyVertexAsyncEngine(BaseEngine):
         sent_total = 0
         self._bootstrap(track_delta=True)
 
-        for _ in range(self.max_supersteps):
-            # ---- continuous local processing (one round) ---------------
-            for rt in self.runtimes:
-                idx, accum = rt.take_ready()
-                edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
-                sim.add_compute(rt.mg.machine_id, edges, idx.size)
+        tracer = self.tracer
+        for step in range(self.max_supersteps):
+            with tracer.span("superstep", category="superstep", superstep=step):
+                # ---- continuous local processing (one round) -----------
+                with tracer.span("local-round", category="phase") as sp:
+                    round_edges = 0
+                    round_applies = 0
+                    for rt in self.runtimes:
+                        idx, accum = rt.take_ready()
+                        with tracer.span(
+                            "apply-machine", category="machine",
+                            machine=rt.mg.machine_id,
+                        ) as msp:
+                            edges, _ = rt.apply_and_scatter(
+                                idx, accum, track_delta=True
+                            )
+                            msp.set(edges=edges, applies=int(idx.size))
+                        sim.add_compute(rt.mg.machine_id, edges, idx.size)
+                        round_edges += edges
+                        round_applies += int(idx.size)
+                    sp.set(edges=round_edges, applies=round_applies)
 
-            # ---- age deltas; stale ones trigger their own coherency ----
-            for rt, age in zip(self.runtimes, self._age):
-                age[rt.has_delta] += 1
-                age[~rt.has_delta] = 0
-
-            def ready(rt: MachineRuntime, _ages=self._age) -> np.ndarray:
-                return _ages[rt.mg.machine_id] >= self.max_delta_age
-
-            idle = self._globally_idle()
-            if idle:
-                # drain everything before concluding: a final full
-                # exchange may reactivate replicas
-                report = self.exchanger.exchange()
-            else:
-                report = self.exchanger.exchange(participants=ready)
-            comm_seconds = 0.0
-            if not report.empty:
-                sim.bulk_transfer(report.volume_bytes, report.messages)
-                comm_seconds = net.async_exchange_time(
-                    report.mode, report.volume_bytes, sim.num_machines
-                )
-                sim.stats.comm_rounds += 1
-                sim.stats.coherency_points += 1
-                sent_total += report.messages
+                # ---- age deltas; stale ones trigger their own coherency
                 for rt, age in zip(self.runtimes, self._age):
+                    age[rt.has_delta] += 1
                     age[~rt.has_delta] = 0
-            # transfers pipeline behind local vertex processing (§3.4)
-            sim.settle_async_overlapped(comm_seconds)
-            sim.stats.supersteps += 1
 
-            if idle and report.empty and self._globally_idle():
-                # quiescence is only *known* via termination detection
-                if detector.probe(idle_flags, sent_total, sent_total):
-                    return True
-            else:
-                detector.reset()
+                def ready(rt: MachineRuntime, _ages=self._age) -> np.ndarray:
+                    return _ages[rt.mg.machine_id] >= self.max_delta_age
+
+                idle = self._globally_idle()
+                with tracer.span("partial-coherency", category="phase") as sp:
+                    if idle:
+                        # drain everything before concluding: a final full
+                        # exchange may reactivate replicas
+                        report = self.exchanger.exchange()
+                    else:
+                        report = self.exchanger.exchange(participants=ready)
+                    comm_seconds = 0.0
+                    if not report.empty:
+                        sim.bulk_transfer(report.volume_bytes, report.messages)
+                        comm_seconds = net.async_exchange_time(
+                            report.mode, report.volume_bytes, sim.num_machines
+                        )
+                        sim.stats.comm_rounds += 1
+                        sim.stats.coherency_points += 1
+                        sent_total += report.messages
+                        for rt, age in zip(self.runtimes, self._age):
+                            age[~rt.has_delta] = 0
+                    # transfers pipeline behind local processing (§3.4)
+                    sim.settle_async_overlapped(comm_seconds)
+                    sp.set(mode=report.mode.value,
+                           exchanged=report.vertices_exchanged,
+                           volume_bytes=report.volume_bytes)
+                sim.stats.supersteps += 1
+                if self.trace:
+                    sim.stats.snapshot(
+                        active=self._global_active_count(),
+                        exchanged=report.vertices_exchanged,
+                        mode=report.mode.value,
+                    )
+
+                if idle and report.empty and self._globally_idle():
+                    # quiescence is only *known* via termination detection
+                    with tracer.span("termination-probe", category="phase"):
+                        done = detector.probe(idle_flags, sent_total, sent_total)
+                    if done:
+                        return True
+                else:
+                    detector.reset()
         return False

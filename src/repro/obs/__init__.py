@@ -1,0 +1,60 @@
+"""repro.obs — structured tracing and metrics for every engine run.
+
+The observability layer the paper's counter-driven evaluation implies:
+
+* :mod:`repro.obs.tracer` — nested spans (superstep → phase →
+  per-machine work) on both the host clock and the modeled cluster
+  clock, fed by every :class:`~repro.cluster.stats.RunStats` charge;
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry that
+  ``RunStats`` is built on;
+* :mod:`repro.obs.sinks` — in-memory (default), JSONL stream, and
+  Chrome ``trace_event`` export (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.report` — summarize a saved trace (``repro report``).
+"""
+
+from repro.obs.chrome import chrome_trace_document
+from repro.obs.metrics import (
+    Counter,
+    ExtraView,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    TraceData,
+    format_report,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    TRACE_FORMATS,
+    export_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ExtraView",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "export_trace",
+    "TRACE_FORMATS",
+    "chrome_trace_document",
+    "TraceData",
+    "load_trace",
+    "summarize_trace",
+    "format_report",
+]

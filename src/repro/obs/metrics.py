@@ -1,0 +1,249 @@
+"""Typed metrics primitives: Counter, Gauge, Histogram, and a registry.
+
+The paper's evaluation is counter-driven — speedups (Fig 9) are
+*explained* by global-sync counts (Fig 10) and communication traffic
+(Fig 11) — so measurements deserve first-class types instead of ad-hoc
+dict writes. :class:`~repro.cluster.stats.RunStats` owns a
+:class:`MetricsRegistry`; its free-form ``extra`` annotations are backed
+by registry counters (``extra.<name>``), and engines/benches may
+register their own instruments under any dotted namespace.
+
+Semantics follow the Prometheus conventions the production north-star
+will eventually export to:
+
+* :class:`Counter` — monotone accumulate (``inc``); direct assignment is
+  allowed only through the ``extra`` compatibility view;
+* :class:`Gauge` — last-write-wins sample (``set``);
+* :class:`Histogram` — streaming distribution summary (count/sum/min/
+  max) plus fixed-boundary bucket counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import MutableMapping
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ExtraView",
+]
+
+
+class Metric:
+    """Common name/description plumbing for all instrument kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name}={self.export()!r})"
+
+    def export(self) -> Union[float, Dict[str, float]]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically-increasing accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount`` (must be >= 0); returns the new value."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+        return self.value
+
+    def _set(self, value: float) -> None:
+        """Direct assignment — only for the ``extra`` dict-compat view."""
+        self.value = float(value)
+
+    def export(self) -> float:
+        return self.value
+
+
+class Gauge(Metric):
+    """Point-in-time sample; ``set`` overwrites."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def export(self) -> float:
+        return self.value
+
+
+class Histogram(Metric):
+    """Streaming distribution: count/sum/min/max + optional buckets.
+
+    ``buckets`` are upper boundaries (a final +inf bucket is implicit).
+    ``observe`` is O(len(buckets)) with no stored samples, so it is safe
+    on hot paths (per-superstep, per-exchange).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, description)
+        bounds = sorted(buckets) if buckets else []
+        self.bounds: List[float] = [float(b) for b in bounds]
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def export(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+        for bound, n in zip(self.bounds + [math.inf], self.bucket_counts):
+            out[f"le_{bound:g}"] = float(n)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Re-requesting a name returns the same instrument; requesting it as a
+    different kind raises — a registry name means one thing for the whole
+    run.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, description, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, description, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def export(self) -> Dict[str, Union[float, Dict[str, float]]]:
+        """All instruments as plain JSON-serializable values."""
+        return {name: m.export() for name, m in sorted(self._metrics.items())}
+
+
+class ExtraView(MutableMapping):
+    """Dict-compatible facade over a registry's ``extra.*`` counters.
+
+    Preserves the historical ``RunStats.extra`` API (``stats.extra["x"]``
+    reads/writes) while the values actually live in the registry, where
+    sinks and reports can see them uniformly.
+    """
+
+    PREFIX = "extra."
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    def _counter(self, key: str) -> Counter:
+        return self._registry.counter(self.PREFIX + key)
+
+    def __getitem__(self, key: str) -> float:
+        metric = self._registry.get(self.PREFIX + key)
+        if metric is None:
+            raise KeyError(key)
+        return metric.export()
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._counter(key)._set(value)
+
+    def __delitem__(self, key: str) -> None:
+        if self._registry.get(self.PREFIX + key) is None:
+            raise KeyError(key)
+        del self._registry._metrics[self.PREFIX + key]
+
+    def __iter__(self) -> Iterator[str]:
+        plen = len(self.PREFIX)
+        return (
+            name[plen:]
+            for name in self._registry.names()
+            if name.startswith(self.PREFIX)
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in iter(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ExtraView({dict(self)!r})"

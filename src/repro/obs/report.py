@@ -1,0 +1,241 @@
+"""Load a saved trace (JSONL or Chrome format) and summarize the run.
+
+``repro report TRACE`` prints what the paper's figures are made of, for
+one run, straight from its trace file:
+
+* the per-phase modeled-time breakdown (gather/apply/scatter for the
+  eager engines; local-computation/coherency for the lazy ones), whose
+  total reproduces ``RunStats.modeled_time_s``;
+* the sync/traffic totals behind Figs 10–11;
+* the interval-rule decision log (``turnOnLazy`` outcomes and the comm
+  mode chosen at each coherency exchange).
+
+Both on-disk formats round-trip losslessly enough for this: the JSONL
+format is the tracer's native record stream; the Chrome format keeps
+phase durations as ``"X"`` event ``dur`` fields and the RunStats dump in
+``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceData", "load_trace", "summarize_trace", "format_report"]
+
+_US = 1e6
+
+
+@dataclass
+class TraceData:
+    """Normalized in-memory view of a saved trace."""
+
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    instants: List[Dict[str, Any]] = field(default_factory=list)
+    counters: List[Dict[str, Any]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        return self.meta.get("stats", {})
+
+    def phase_spans(self) -> List[Dict[str, Any]]:
+        return [s for s in self.spans if s.get("cat") == "phase"]
+
+
+def _load_jsonl(lines: List[str]) -> TraceData:
+    trace = TraceData()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        rtype = record.get("type")
+        if rtype == "span":
+            trace.spans.append(record)
+        elif rtype == "instant":
+            trace.instants.append(record)
+        elif rtype == "counter":
+            trace.counters.append(record)
+        elif rtype == "run_meta":
+            trace.meta.update(record.get("meta") or {})
+        # trace_header / unknown types: ignored (forward compatibility)
+    return trace
+
+
+def _load_chrome(doc: Dict[str, Any]) -> TraceData:
+    trace = TraceData()
+    trace.meta.update(doc.get("otherData") or {})
+    for event in doc.get("traceEvents", []):
+        ph = event.get("ph")
+        if ph == "X":
+            args = dict(event.get("args") or {})
+            charges = {}
+            for key in list(args):
+                if key.startswith("charge_") and key.endswith("_s"):
+                    charges[key[len("charge_"):-2]] = args.pop(key)
+            t0 = event.get("ts", 0.0) / _US
+            t1 = t0 + event.get("dur", 0.0) / _US
+            span = {
+                "type": "span",
+                "name": event.get("name"),
+                "cat": event.get("cat"),
+                "charges": charges,
+                "attrs": args,
+            }
+            if event.get("cat") == "machine":
+                span.update(host_t0=t0, host_t1=t1, model_t0=0.0, model_t1=0.0)
+            else:
+                span.update(model_t0=t0, model_t1=t1)
+            trace.spans.append(span)
+        elif ph == "i":
+            trace.instants.append({
+                "type": "instant",
+                "name": event.get("name"),
+                "model_t": event.get("ts", 0.0) / _US,
+                "attrs": dict(event.get("args") or {}),
+            })
+        elif ph == "C":
+            trace.counters.append({
+                "type": "counter",
+                "name": event.get("name"),
+                "model_t": event.get("ts", 0.0) / _US,
+                "value": (event.get("args") or {}).get("value", 0.0),
+            })
+    return trace
+
+
+def load_trace(path: str) -> TraceData:
+    """Read a trace file, auto-detecting JSONL vs Chrome JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+        return _load_chrome(json.loads(text))
+    return _load_jsonl(text.splitlines())
+
+
+# ----------------------------------------------------------------------
+def summarize_trace(trace: TraceData) -> Dict[str, Any]:
+    """Aggregate a trace into the report's tables.
+
+    Returns a dict with ``phases`` (ordered per-phase rows), ``totals``
+    (the RunStats dump), ``decisions`` (interval-rule log summary) and
+    ``modes`` (coherency-exchange wire-protocol counts).
+    """
+    phases: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for span in trace.phase_spans():
+        name = span["name"]
+        if name not in phases:
+            phases[name] = {
+                "count": 0, "model_s": 0.0,
+                "compute_s": 0.0, "comm_s": 0.0, "sync_s": 0.0,
+            }
+            order.append(name)
+        row = phases[name]
+        row["count"] += 1
+        row["model_s"] += span["model_t1"] - span["model_t0"]
+        for kind, seconds in (span.get("charges") or {}).items():
+            row[f"{kind}_s"] = row.get(f"{kind}_s", 0.0) + seconds
+    untracked = trace.meta.get("untracked_charges") or {}
+    if untracked:
+        phases["(untracked)"] = {
+            "count": 0,
+            "model_s": sum(untracked.values()),
+            "compute_s": untracked.get("compute", 0.0),
+            "comm_s": untracked.get("comm", 0.0),
+            "sync_s": untracked.get("sync", 0.0),
+        }
+        order.append("(untracked)")
+    total_phase_s = sum(row["model_s"] for row in phases.values())
+
+    decisions = [
+        i for i in trace.instants if i.get("name") == "interval-decision"
+    ]
+    lazy_on = sum(1 for d in decisions if (d.get("attrs") or {}).get("do_local"))
+    modes: Dict[str, int] = {}
+    for i in trace.instants:
+        if i.get("name") == "coherency-exchange":
+            mode = (i.get("attrs") or {}).get("mode", "?")
+            modes[mode] = modes.get(mode, 0) + 1
+
+    return {
+        "engine": trace.meta.get("engine", "?"),
+        "algorithm": trace.meta.get("algorithm", "?"),
+        "phases": [{"name": n, **phases[n]} for n in order],
+        "total_phase_s": total_phase_s,
+        "totals": trace.stats,
+        "decisions": {
+            "total": len(decisions),
+            "lazy_on": lazy_on,
+            "lazy_off": len(decisions) - lazy_on,
+        },
+        "modes": modes,
+    }
+
+
+def format_report(summary: Dict[str, Any]) -> str:
+    """Render a summary as the plain-text report the CLI prints."""
+    from repro.bench.reporting import format_table
+
+    lines: List[str] = []
+    lines.append(
+        f"trace report — {summary['engine']}/{summary['algorithm']}"
+    )
+    total = summary["total_phase_s"]
+    rows = []
+    for row in summary["phases"]:
+        share = 100.0 * row["model_s"] / total if total > 0 else 0.0
+        rows.append([
+            row["name"], int(row["count"]), round(row["model_s"], 6),
+            round(share, 1), round(row.get("compute_s", 0.0), 6),
+            round(row.get("comm_s", 0.0), 6), round(row.get("sync_s", 0.0), 6),
+        ])
+    rows.append(["total", "", round(total, 6), 100.0 if total > 0 else 0.0,
+                 "", "", ""])
+    lines.append(format_table(
+        ["phase", "count", "model_s", "%", "compute_s", "comm_s", "sync_s"],
+        rows, title="per-phase modeled time",
+    ))
+
+    stats = summary["totals"]
+    if stats:
+        total_rows = []
+        for key, label in (
+            ("modeled_time_s", "modeled time (s)"),
+            ("global_syncs", "global syncs"),
+            ("comm_bytes", "traffic (bytes)"),
+            ("comm_messages", "messages"),
+            ("comm_rounds", "comm rounds"),
+            ("supersteps", "supersteps"),
+            ("coherency_points", "coherency points"),
+            ("local_iterations", "local iterations"),
+            ("edge_traversals", "edge traversals"),
+            ("vertex_updates", "vertex updates"),
+            ("converged", "converged"),
+        ):
+            if key in stats:
+                value = stats[key]
+                if isinstance(value, float):
+                    value = round(value, 6)
+                total_rows.append([label, value])
+        lines.append(format_table(
+            ["metric", "value"], total_rows, title="run totals (RunStats)",
+        ))
+
+    decisions = summary["decisions"]
+    if decisions["total"]:
+        lines.append(
+            f"interval rule: {decisions['total']} decisions — "
+            f"lazy on {decisions['lazy_on']}, off {decisions['lazy_off']}"
+        )
+    if summary["modes"]:
+        mode_text = ", ".join(
+            f"{mode}×{count}" for mode, count in sorted(summary["modes"].items())
+        )
+        lines.append(f"coherency exchanges by mode: {mode_text}")
+    return "\n\n".join(lines)

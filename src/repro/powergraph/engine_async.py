@@ -48,28 +48,46 @@ class PowerGraphAsyncEngine(BaseEngine):
         sent_total = 0
         self._bootstrap(track_delta=False)
 
-        for _ in range(self.max_supersteps):
-            traffic = exchange.collect()
-            sim.bulk_transfer(traffic.total_bytes, traffic.total_msgs)
-            if not exchange.anything_pending:
-                # quiescent: the engine only *learns* this through the
-                # termination-detection protocol (two clean probes)
-                if detector.probe(idle_flags, sent_total, sent_total):
-                    return True
+        tracer = self.tracer
+        for step in range(self.max_supersteps):
+            with tracer.span("superstep", category="superstep", superstep=step):
+                traffic = exchange.collect()
+                sim.bulk_transfer(traffic.total_bytes, traffic.total_msgs)
+                if not exchange.anything_pending:
+                    # quiescent: the engine only *learns* this through the
+                    # termination-detection protocol (two clean probes)
+                    with tracer.span("termination-probe", category="phase"):
+                        done = detector.probe(idle_flags, sent_total, sent_total)
+                    if done:
+                        return True
+                    sim.stats.supersteps += 1
+                    if self.trace:
+                        sim.stats.snapshot(active=0, msgs=0)
+                    continue
+                detector.reset()
+                sent_total += traffic.total_msgs
+                with tracer.span("exchange-apply", category="phase") as sp:
+                    work = exchange.apply_all(track_delta=False)
+                    for machine_id, (edges, applies) in enumerate(work):
+                        if tracer.enabled:
+                            tracer.span(
+                                "apply-machine", category="machine",
+                                machine=machine_id, edges=edges, applies=applies,
+                            ).end()
+                        sim.add_compute(machine_id, edges, applies)
+                    # fine-grained comm: unbatched volume + engine overhead
+                    sim.stats.add_comm(
+                        net.a2a_time(traffic.total_bytes, sim.num_machines)
+                        * net.async_unbatched_penalty
+                        + net.async_round_overhead_s
+                    )
+                    sim.stats.comm_rounds += 1
+                    sim.settle_async(traffic.sent_per_machine)
+                    sp.set(msgs=traffic.total_msgs, bytes=traffic.total_bytes)
                 sim.stats.supersteps += 1
-                continue
-            detector.reset()
-            sent_total += traffic.total_msgs
-            work = exchange.apply_all(track_delta=False)
-            for machine_id, (edges, applies) in enumerate(work):
-                sim.add_compute(machine_id, edges, applies)
-            # fine-grained communication: unbatched volume + engine overhead
-            sim.stats.add_comm(
-                net.a2a_time(traffic.total_bytes, sim.num_machines)
-                * net.async_unbatched_penalty
-                + net.async_round_overhead_s
-            )
-            sim.stats.comm_rounds += 1
-            sim.settle_async(traffic.sent_per_machine)
-            sim.stats.supersteps += 1
+                if self.trace:
+                    sim.stats.snapshot(
+                        active=self._global_active_count(),
+                        msgs=traffic.total_msgs,
+                    )
         return False

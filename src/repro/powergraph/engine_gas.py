@@ -20,6 +20,7 @@ import numpy as np
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
 from repro.errors import ConvergenceError, EngineError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import MachineGraph, PartitionedGraph
 from repro.powergraph.gas import GASProgram
 from repro.runtime.result import EngineResult
@@ -91,6 +92,8 @@ class PowerGraphGASSyncEngine:
         program: GASProgram,
         network: Optional[NetworkModel] = None,
         max_supersteps: int = 100_000,
+        trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         program.validate()
         if program.needs_weights and pgraph.graph.weights is None:
@@ -101,7 +104,16 @@ class PowerGraphGASSyncEngine:
         self.pgraph = pgraph
         self.program = program
         self.max_supersteps = max_supersteps
+        self.trace = trace
         self.sim = ClusterSim(pgraph.num_machines, network=network)
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace:
+            self.tracer = Tracer()
+        else:
+            self.tracer = NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_stats(self.sim.stats)
         self.machines: List[_GASMachine] = [
             _GASMachine(mg, program) for mg in pgraph.machines
         ]
@@ -125,57 +137,80 @@ class PowerGraphGASSyncEngine:
         total = np.empty(n, dtype=np.float64)
         has = np.empty(n, dtype=bool)
         converged = False
-        for _ in range(self.max_supersteps):
+        tracer = self.tracer
+        for step in range(self.max_supersteps):
             if not active.any():
                 converged = True
                 break
-            # ---- gather: pull on every replica, combine at master -------
-            total.fill(alg.identity)
-            has.fill(False)
-            gather_msgs = 0
-            for gm in self.machines:
-                local_active = active[gm.mg.vertices]
-                idx, acc, edges = gm.gather(prog, local_active)
-                sim.add_compute(gm.mg.machine_id, edges, 0)
-                if idx.size:
-                    gids = gm.mg.vertices[idx]
-                    alg.combine_at(total, gids, acc)
-                    has[gids] = True
-                    gather_msgs += int(np.count_nonzero(~gm.mg.is_master[idx]))
-            vol1 = gather_msgs * prog.value_bytes
-            sim.bulk_transfer(vol1, gather_msgs)
-            sim.exchange_round(vol1)
-            sim.barrier()  # sync #1
+            with tracer.span("superstep", category="superstep", superstep=step):
+                # ---- gather: pull on every replica, combine at master ---
+                with tracer.span("gather", category="phase") as sp:
+                    total.fill(alg.identity)
+                    has.fill(False)
+                    gather_msgs = 0
+                    for gm in self.machines:
+                        local_active = active[gm.mg.vertices]
+                        with tracer.span(
+                            "gather-machine", category="machine",
+                            machine=gm.mg.machine_id,
+                        ) as msp:
+                            idx, acc, edges = gm.gather(prog, local_active)
+                            msp.set(edges=edges)
+                        sim.add_compute(gm.mg.machine_id, edges, 0)
+                        if idx.size:
+                            gids = gm.mg.vertices[idx]
+                            alg.combine_at(total, gids, acc)
+                            has[gids] = True
+                            gather_msgs += int(
+                                np.count_nonzero(~gm.mg.is_master[idx])
+                            )
+                    vol1 = gather_msgs * prog.value_bytes
+                    sp.set(gather_msgs=gather_msgs, gather_bytes=vol1)
+                    sim.bulk_transfer(vol1, gather_msgs)
+                    sim.exchange_round(vol1)
+                    sim.barrier()  # sync #1
 
-            # active vertices with no in-edges anywhere still "apply" the
-            # identity accumulator (e.g. the PR base-rank refresh)
-            has |= active
+                # active vertices with no in-edges anywhere still "apply"
+                # the identity accumulator (e.g. the PR base-rank refresh)
+                has |= active
 
-            # ---- apply on every replica + broadcast ----------------------
-            applied = np.flatnonzero(has)
-            bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
-            next_active = np.zeros(n, dtype=bool)
-            for gm in self.machines:
-                sel = has[gm.mg.vertices]
-                idx = np.flatnonzero(sel)
-                if idx.size == 0:
-                    continue
-                changed = prog.apply(
-                    gm.mg, gm.state, idx, total[gm.mg.vertices[idx]]
-                )
-                sim.add_compute(gm.mg.machine_id, 0, idx.size)
-                fired = idx[changed]
-                if fired.size:
-                    next_active[gm.out_targets(fired)] = True
-            vol2 = bcast * prog.value_bytes
-            sim.bulk_transfer(vol2, bcast)
-            sim.exchange_round(vol2)
-            sim.barrier()  # sync #2
+                # ---- apply on every replica + broadcast -----------------
+                with tracer.span("apply", category="phase") as sp:
+                    applied = np.flatnonzero(has)
+                    bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
+                    next_active = np.zeros(n, dtype=bool)
+                    for gm in self.machines:
+                        sel = has[gm.mg.vertices]
+                        idx = np.flatnonzero(sel)
+                        if idx.size == 0:
+                            continue
+                        with tracer.span(
+                            "apply-machine", category="machine",
+                            machine=gm.mg.machine_id,
+                        ) as msp:
+                            changed = prog.apply(
+                                gm.mg, gm.state, idx, total[gm.mg.vertices[idx]]
+                            )
+                            msp.set(applies=int(idx.size))
+                        sim.add_compute(gm.mg.machine_id, 0, idx.size)
+                        fired = idx[changed]
+                        if fired.size:
+                            next_active[gm.out_targets(fired)] = True
+                    vol2 = bcast * prog.value_bytes
+                    sp.set(bcast_msgs=bcast, bcast_bytes=vol2)
+                    sim.bulk_transfer(vol2, bcast)
+                    sim.exchange_round(vol2)
+                    sim.barrier()  # sync #2
 
-            # ---- scatter/activation already folded in ---------------------
-            sim.barrier()  # sync #3
-            sim.stats.supersteps += 1
-            active = next_active
+                # ---- scatter/activation already folded in ---------------
+                with tracer.span("scatter", category="phase"):
+                    sim.barrier()  # sync #3
+                sim.stats.supersteps += 1
+                active = next_active
+                if self.trace:
+                    sim.stats.snapshot(
+                        active=int(active.sum()), gather_msgs=gather_msgs,
+                    )
 
         sim.stats.converged = converged
         if not converged:
@@ -196,10 +231,18 @@ class PowerGraphGASSyncEngine:
             diff = hi - lo
         finite = np.isfinite(diff)
         disagreement = float(diff[finite].max()) if finite.any() else 0.0
+        if tracer.enabled:
+            tracer.finish(
+                engine=self.name,
+                algorithm=prog.name,
+                machines=self.pgraph.num_machines,
+                stats=sim.stats.to_dict(),
+            )
         return EngineResult(
             values=values,
             stats=sim.stats,
             engine=self.name,
             algorithm=prog.name,
             replica_max_disagreement=disagreement,
+            trace=tracer if tracer.enabled else None,
         )

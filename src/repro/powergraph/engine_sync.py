@@ -23,33 +23,47 @@ class PowerGraphSyncEngine(BaseEngine):
 
     def _execute(self) -> bool:
         sim = self.sim
+        tracer = self.tracer
         exchange = EagerExchange(self.pgraph, self.program, self.runtimes)
         self._bootstrap(track_delta=False)
 
-        for _ in range(self.max_supersteps):
-            # ---- gather leg: mirrors ship accums to masters -----------
-            traffic = exchange.collect()
-            sim.bulk_transfer(traffic.gather_bytes, traffic.gather_msgs)
-            sim.exchange_round(traffic.gather_bytes)
-            sim.barrier()  # sync #1 (gather complete)
-            if not exchange.anything_pending:
-                return True
+        for step in range(self.max_supersteps):
+            with tracer.span("superstep", category="superstep", superstep=step):
+                # ---- gather leg: mirrors ship accums to masters -------
+                with tracer.span("gather", category="phase") as sp:
+                    traffic = exchange.collect()
+                    sp.set(gather_msgs=traffic.gather_msgs,
+                           gather_bytes=traffic.gather_bytes)
+                    sim.bulk_transfer(traffic.gather_bytes, traffic.gather_msgs)
+                    sim.exchange_round(traffic.gather_bytes)
+                    sim.barrier()  # sync #1 (gather complete)
+                if not exchange.anything_pending:
+                    return True
 
-            # ---- apply on every replica + broadcast leg ---------------
-            work = exchange.apply_all(track_delta=False)
-            for machine_id, (edges, applies) in enumerate(work):
-                sim.add_compute(machine_id, edges, applies)
-            sim.bulk_transfer(traffic.bcast_bytes, traffic.bcast_msgs)
-            sim.exchange_round(traffic.bcast_bytes)
-            sim.barrier()  # sync #2 (apply/replication complete)
+                # ---- apply on every replica + broadcast leg -----------
+                with tracer.span("apply", category="phase") as sp:
+                    work = exchange.apply_all(track_delta=False)
+                    for machine_id, (edges, applies) in enumerate(work):
+                        if tracer.enabled:
+                            tracer.span(
+                                "apply-machine", category="machine",
+                                machine=machine_id, edges=edges, applies=applies,
+                            ).end()
+                        sim.add_compute(machine_id, edges, applies)
+                    sp.set(bcast_msgs=traffic.bcast_msgs,
+                           bcast_bytes=traffic.bcast_bytes)
+                    sim.bulk_transfer(traffic.bcast_bytes, traffic.bcast_msgs)
+                    sim.exchange_round(traffic.bcast_bytes)
+                    sim.barrier()  # sync #2 (apply/replication complete)
 
-            # ---- scatter already ran fused with apply -----------------
-            sim.barrier()  # sync #3 (scatter complete)
-            sim.stats.supersteps += 1
-            if self.trace:
-                sim.stats.snapshot(
-                    active=self._global_active_count(),
-                    gather_msgs=traffic.gather_msgs,
-                    bcast_msgs=traffic.bcast_msgs,
-                )
+                # ---- scatter already ran fused with apply -------------
+                with tracer.span("scatter", category="phase"):
+                    sim.barrier()  # sync #3 (scatter complete)
+                sim.stats.supersteps += 1
+                if self.trace:
+                    sim.stats.snapshot(
+                        active=self._global_active_count(),
+                        gather_msgs=traffic.gather_msgs,
+                        bcast_msgs=traffic.bcast_msgs,
+                    )
         return False

@@ -22,6 +22,8 @@ from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import attach_uniform_weights
+from repro.obs.sinks import TRACE_FORMATS, export_trace
+from repro.obs.tracer import Tracer
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.powergraph.engine_async import PowerGraphAsyncEngine
 from repro.powergraph.engine_sync import PowerGraphSyncEngine
@@ -79,6 +81,9 @@ def run(
     seed: int = 0,
     max_supersteps: int = 100_000,
     trace: bool = False,
+    trace_out: Optional[str] = None,
+    trace_format: str = "jsonl",
+    tracer: Optional[Tracer] = None,
     **algorithm_params,
 ) -> EngineResult:
     """Run one algorithm on one graph under one engine; return the result.
@@ -103,7 +108,18 @@ def run(
     split:
         Edge-splitter configuration enabling parallel-edges; ``None``
         keeps every edge in one-edge mode.
+    trace_out / trace_format:
+        Write the structured execution trace to ``trace_out`` in
+        ``"jsonl"`` or ``"chrome"`` format (implies tracing).
+    tracer:
+        An explicit :class:`repro.obs.Tracer` to instrument the run with
+        (implies tracing; overrides ``trace``/``trace_out`` creation).
     """
+    if trace_format not in TRACE_FORMATS:
+        raise ConfigError(
+            f"unknown trace format {trace_format!r}; known: "
+            f"{', '.join(TRACE_FORMATS)}"
+        )
     if isinstance(algorithm, DeltaProgram):
         if algorithm_params:
             raise ConfigError(
@@ -124,7 +140,11 @@ def run(
         g, machines, partitioner=partitioner, split_config=split, seed=seed
     )
 
+    if tracer is None and trace_out is not None:
+        tracer = Tracer()
     kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     if engine == "lazy-block":
         if interval is not None and not isinstance(interval, IntervalModel):
             interval = make_interval_model(interval)
@@ -134,4 +154,7 @@ def run(
         kwargs["coherency_mode"] = coherency_mode
     elif interval is not None:
         raise ConfigError(f"engine {engine!r} does not take an interval model")
-    return engine_cls(pgraph, program, **kwargs).run()
+    result = engine_cls(pgraph, program, **kwargs).run()
+    if trace_out is not None and result.trace is not None:
+        export_trace(result.trace, trace_out, trace_format)
+    return result

@@ -11,6 +11,7 @@ from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
 from repro.errors import ConvergenceError, EngineError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
 from repro.runtime.result import EngineResult, collect_values, replica_disagreement
@@ -38,6 +39,7 @@ class BaseEngine(abc.ABC):
         network: Optional[NetworkModel] = None,
         max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS,
         trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         program.validate()
         if program.needs_weights and pgraph.graph.weights is None:
@@ -52,6 +54,16 @@ class BaseEngine(abc.ABC):
         self.max_supersteps = max_supersteps
         self.trace = trace
         self.sim = ClusterSim(pgraph.num_machines, network=network)
+        # one tracer handle per engine: real when the caller wants spans
+        # (explicit tracer, or trace=True), a no-op NullTracer otherwise
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace:
+            self.tracer = Tracer()
+        else:
+            self.tracer = NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_stats(self.sim.stats)
         self.runtimes: List[MachineRuntime] = [
             MachineRuntime(mg, program) for mg in pgraph.machines
         ]
@@ -64,15 +76,16 @@ class BaseEngine(abc.ABC):
         messages: lazy engines fold one-edge messages into ``deltaMsg``
         from the very first message on.
         """
-        for rt in self.runtimes:
-            init_delta, active = self.program.initial_scatter(rt.mg, rt.state)
-            idx = np.flatnonzero(active)
-            if init_delta is None:
-                rt.has_msg[idx] = True
-                edges = 0
-            else:
-                edges = rt.scatter(idx, init_delta[idx], track_delta=track_delta)
-            self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+        with self.tracer.span("bootstrap", category="phase"):
+            for rt in self.runtimes:
+                init_delta, active = self.program.initial_scatter(rt.mg, rt.state)
+                idx = np.flatnonzero(active)
+                if init_delta is None:
+                    rt.has_msg[idx] = True
+                    edges = 0
+                else:
+                    edges = rt.scatter(idx, init_delta[idx], track_delta=track_delta)
+                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
 
     def _globally_idle(self) -> bool:
         """True when no machine has pending messages."""
@@ -93,6 +106,13 @@ class BaseEngine(abc.ABC):
                 f"{self.max_supersteps} supersteps "
                 f"({self.sim.stats.summary()})"
             )
+        if self.tracer.enabled:
+            self.tracer.finish(
+                engine=self.name,
+                algorithm=self.program.name,
+                machines=self.pgraph.num_machines,
+                stats=self.sim.stats.to_dict(),
+            )
         return EngineResult(
             values=collect_values(self.pgraph, self.runtimes),
             stats=self.sim.stats,
@@ -101,6 +121,7 @@ class BaseEngine(abc.ABC):
             replica_max_disagreement=replica_disagreement(
                 self.pgraph, self.runtimes
             ),
+            trace=self.tracer if self.tracer.enabled else None,
         )
 
     @abc.abstractmethod

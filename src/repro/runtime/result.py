@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -67,6 +67,10 @@ class EngineResult:
         Program name.
     replica_max_disagreement:
         Measured max cross-replica value gap at termination.
+    trace:
+        The run's :class:`~repro.obs.tracer.Tracer` (span records,
+        instants, counter samples) when tracing was enabled; ``None``
+        otherwise. Export with :func:`repro.obs.export_trace`.
     """
 
     values: np.ndarray
@@ -74,6 +78,7 @@ class EngineResult:
     engine: str
     algorithm: str
     replica_max_disagreement: float
+    trace: Optional[object] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -1,0 +1,272 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the tracer's span nesting and charge attribution, the metrics
+registry semantics, the JSONL sink round-trip, and the validity of the
+Chrome ``trace_event`` export.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.stats import RunStats
+from repro.obs import (
+    ChromeTraceSink,
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_document,
+    export_trace,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.chrome import CLUSTER_PID, HOST_PID
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self):
+        t = Tracer()
+        with t.span("outer", category="superstep"):
+            with t.span("inner", category="phase"):
+                pass
+        t.finish()
+        spans = {s["name"]: s for s in t.spans()}
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+        # children close before parents (emission order is close order)
+        names = [s["name"] for s in t.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_forgotten_child_closed_implicitly(self):
+        t = Tracer()
+        outer = t.span("outer")
+        t.span("forgotten")
+        outer.end()
+        assert [s["name"] for s in t.spans()] == ["forgotten", "outer"]
+
+    def test_finish_closes_open_spans_and_is_idempotent(self):
+        t = Tracer()
+        t.span("left-open")
+        t.finish(run="x")
+        t.finish(run="y")  # no-op
+        assert len(t.spans()) == 1
+        assert t.meta["run"] == "x"
+        metas = [r for r in t.records if r["type"] == "run_meta"]
+        assert len(metas) == 1
+
+    def test_attrs_via_set_and_kwargs(self):
+        t = Tracer()
+        with t.span("s", category="phase", fixed=1) as sp:
+            sp.set(late=2)
+        rec = t.spans()[0]
+        assert rec["attrs"] == {"fixed": 1, "late": 2}
+
+    def test_charges_attributed_to_innermost_span(self):
+        t = Tracer()
+        stats = RunStats()
+        t.bind_stats(stats)
+        with t.span("outer", category="superstep"):
+            stats.add_sync(0.25)
+            with t.span("inner", category="phase"):
+                stats.add_comm(1.0)
+        stats.add_comm(0.5)  # outside any span -> untracked
+        t.finish()
+        spans = {s["name"]: s for s in t.spans()}
+        assert spans["inner"]["charges"] == {"comm": 1.0}
+        assert spans["outer"]["charges"] == {"sync": 0.25}
+        assert t.untracked["comm"] == 0.5
+        assert t.meta["untracked_charges"]["comm"] == 0.5
+        # model clock tracked the ledger
+        assert t.model_now == pytest.approx(stats.modeled_time_s)
+
+    def test_model_durations_tile_the_ledger(self):
+        t = Tracer()
+        stats = RunStats()
+        t.bind_stats(stats)
+        for _ in range(3):
+            with t.span("p", category="phase"):
+                stats.add_comm(0.125)
+                stats.add_sync(0.5)
+        t.finish()
+        total = sum(s["model_t1"] - s["model_t0"] for s in t.spans("phase"))
+        assert total == pytest.approx(stats.modeled_time_s, abs=1e-12)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x", category="phase") as sp:
+            sp.set(a=1)
+        NULL_TRACER.instant("x")
+        NULL_TRACER.counter("x", 1.0)
+        NULL_TRACER.finish()
+        assert NULL_TRACER.enabled is False
+
+
+class TestMetricsRegistry:
+    def test_counter_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.export() == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(2)
+        assert g.export() == 2.0
+
+    def test_histogram_summary_and_buckets(self):
+        h = Histogram("h", buckets=[1.0, 10.0])
+        for v in (0.5, 5.0, 50.0, 7.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(62.5)
+        assert h.mean == pytest.approx(15.625)
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.bucket_counts == [1, 2, 1]  # <=1, <=10, +inf
+        exported = h.export()
+        assert exported["count"] == 4.0
+        assert exported["le_1"] == 1.0
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg and len(reg) == 1
+
+    def test_registry_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_registry_export(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(7)
+        out = reg.export()
+        assert out == {"a": 2.0, "b": 7.0}
+
+    def test_extra_view_round_trip(self):
+        stats = RunStats()
+        stats.extra["mode_switches"] = 3
+        stats.bump("probes", 2)
+        assert stats.extra["mode_switches"] == 3.0
+        assert stats.extra["probes"] == 2.0
+        assert set(stats.extra) == {"mode_switches", "probes"}
+        assert "extra.probes" in stats.metrics
+        with pytest.raises(KeyError):
+            stats.extra["missing"]
+        del stats.extra["probes"]
+        assert "probes" not in stats.extra
+
+
+def _traced_run():
+    """A tiny synthetic run exercising every record type."""
+    t = Tracer()
+    stats = RunStats()
+    t.bind_stats(stats)
+    with t.span("superstep", category="superstep", superstep=0):
+        with t.span("gather", category="phase") as sp:
+            stats.add_comm(0.25)
+            sp.set(msgs=10)
+        with t.span("work", category="machine", machine=1):
+            pass
+    t.instant("decision", do_local=True)
+    t.counter("active_vertices", 42)
+    t.finish(engine="test", algorithm="unit", stats=stats.to_dict())
+    return t
+
+
+class TestSinks:
+    def test_fanout_to_memory_sink(self):
+        sink = InMemorySink()
+        t = Tracer(sinks=[sink])
+        with t.span("a", category="phase"):
+            pass
+        t.finish()
+        assert sink.records == t.records
+        assert sink.meta is t.meta
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = _traced_run()
+        path = tmp_path / "trace.jsonl"
+        export_trace(t, str(path), "jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "trace_header"
+        assert lines[0]["format"] == "repro-trace"
+        types = {l["type"] for l in lines[1:]}
+        assert types == {"span", "instant", "counter", "run_meta"}
+        # load_trace reconstructs the same structure
+        trace = load_trace(str(path))
+        assert len(trace.spans) == len(t.spans())
+        assert trace.meta["engine"] == "test"
+        gather = [s for s in trace.spans if s["name"] == "gather"][0]
+        assert gather["charges"]["comm"] == 0.25
+
+    def test_streaming_jsonl_sink(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        t = Tracer(sinks=[JsonlSink(str(path))])
+        with t.span("a", category="phase"):
+            pass
+        t.finish()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["type"] for l in lines] == ["trace_header", "span", "run_meta"]
+
+    def test_export_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_trace(_traced_run(), str(tmp_path / "x"), "protobuf")
+
+
+class TestChromeExport:
+    def test_document_structure(self, tmp_path):
+        t = _traced_run()
+        path = tmp_path / "trace.json"
+        export_trace(t, str(path), "chrome")
+        doc = json.loads(path.read_text())
+        assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases >= {"X", "i", "C", "M"}
+        # every event is on one of the two declared processes
+        assert {e["pid"] for e in events} <= {CLUSTER_PID, HOST_PID}
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names
+
+    def test_span_axes(self):
+        t = _traced_run()
+        doc = chrome_trace_document(t.records, t.meta)
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        # phase span -> modeled-cluster-time axis, machine span -> host axis
+        assert xs["gather"]["pid"] == CLUSTER_PID
+        assert xs["work"]["pid"] == HOST_PID
+        assert xs["work"]["tid"] == 1  # tid = machine id
+        assert xs["gather"]["args"]["charge_comm_s"] == 0.25
+        # ts/dur are non-negative microseconds
+        for e in xs.values():
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+
+    def test_chrome_trace_loads_back(self, tmp_path):
+        t = _traced_run()
+        path = tmp_path / "trace.json"
+        export_trace(t, str(path), "chrome")
+        trace = load_trace(str(path))
+        assert trace.meta["engine"] == "test"
+        summary = summarize_trace(trace)
+        assert summary["total_phase_s"] == pytest.approx(0.25)
+
+
+class TestChromeTraceSinkDirect:
+    def test_sink_buffers_until_close(self, tmp_path):
+        path = tmp_path / "direct.json"
+        sink = ChromeTraceSink(str(path))
+        t = Tracer(sinks=[sink])
+        with t.span("p", category="phase"):
+            pass
+        assert not path.exists()  # nothing written mid-run
+        t.finish()
+        assert json.loads(path.read_text())["traceEvents"]

@@ -17,6 +17,47 @@ class TestSnapshot:
         assert s.timeline == [entry]
 
 
+SHARED_SCHEMA = {"superstep", "global_syncs", "comm_bytes", "modeled_time_s",
+                 "active"}
+
+
+class TestUniformSchema:
+    """Every engine's timeline snapshots share one core schema."""
+
+    @pytest.mark.parametrize(
+        "engine",
+        ["powergraph-sync", "powergraph-async", "lazy-block", "lazy-vertex"],
+    )
+    def test_delta_engines_emit_shared_keys(self, engine):
+        r = repro.run("road-ca-mini", "sssp", engine=engine, machines=4,
+                      trace=True)
+        tl = r.stats.timeline
+        assert tl, f"{engine} produced no timeline snapshots"
+        for entry in tl:
+            assert SHARED_SCHEMA <= set(entry), (
+                f"{engine} snapshot missing "
+                f"{SHARED_SCHEMA - set(entry)}: {entry}"
+            )
+        times = [e["modeled_time_s"] for e in tl]
+        assert times == sorted(times)
+
+    def test_gas_engine_emits_shared_keys(self):
+        from repro.core.transmission import build_lazy_graph
+        from repro.powergraph import GASPageRank, PowerGraphGASSyncEngine
+        from repro.run_api import prepare_graph
+        from repro.algorithms import make_program
+
+        g = prepare_graph("road-ca-mini", make_program("pagerank"))
+        pg = build_lazy_graph(g, 4)
+        r = PowerGraphGASSyncEngine(
+            pg, GASPageRank(tolerance=1e-3), trace=True
+        ).run()
+        tl = r.stats.timeline
+        assert tl
+        for entry in tl:
+            assert SHARED_SCHEMA <= set(entry)
+
+
 class TestEngineTraces:
     def test_lazy_block_trace(self):
         r = repro.run("road-ca-mini", "sssp", machines=4, trace=True)
