@@ -63,3 +63,6 @@ class BFSProgram(DeltaProgram):
         delta_per_edge: np.ndarray,
     ) -> np.ndarray:
         return delta_per_edge + 1.0
+
+    def edge_transform(self, mg: MachineGraph):
+        return ("add", 1.0)

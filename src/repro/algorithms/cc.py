@@ -61,3 +61,6 @@ class ConnectedComponentsProgram(DeltaProgram):
         delta_per_edge: np.ndarray,
     ) -> np.ndarray:
         return delta_per_edge
+
+    def edge_transform(self, mg: MachineGraph):
+        return ("identity", None)

@@ -107,3 +107,7 @@ class PageRankDeltaProgram(DeltaProgram):
         # vertices with zero out-degree never scatter (no out-edges exist),
         # so out_deg > 0 wherever this is evaluated
         return delta_per_edge / out_deg
+
+    def edge_transform(self, mg: MachineGraph):
+        # the divisor edge_message gathers per call, hoisted once per run
+        return ("divide", mg.out_deg_global[mg.esrc])

@@ -107,3 +107,7 @@ class PersonalizedPageRankProgram(DeltaProgram):
         delta_per_edge: np.ndarray,
     ) -> np.ndarray:
         return delta_per_edge / mg.out_deg_global[mg.esrc[edge_sel]]
+
+    def edge_transform(self, mg: MachineGraph):
+        # the divisor edge_message gathers per call, hoisted once per run
+        return ("divide", mg.out_deg_global[mg.esrc])

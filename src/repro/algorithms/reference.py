@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import AlgorithmError
 from repro.graph.digraph import DiGraph
+from repro.kernels import segment_sum
 
 __all__ = [
     "pagerank_reference",
@@ -49,8 +50,8 @@ def pagerank_reference(
     src, dst = graph.src, graph.dst
     for _ in range(max_iters):
         contrib = pr / safe_deg
-        nxt = np.full(n, 1.0 - damping)
-        np.add.at(nxt, dst, damping * contrib[src])
+        # buffered segment-sum fold (repro.kernels) instead of np.add.at
+        nxt = (1.0 - damping) + segment_sum(dst, damping * contrib[src], n)
         if np.max(np.abs(nxt - pr)) < tol:
             return nxt
         pr = nxt
@@ -77,8 +78,8 @@ def ppr_reference(
     src, dst = graph.src, graph.dst
     for _ in range(max_iters):
         contrib = pr / safe_deg
-        nxt = base.copy()
-        np.add.at(nxt, dst, damping * contrib[src])
+        # buffered segment-sum fold (repro.kernels) instead of np.add.at
+        nxt = base + segment_sum(dst, damping * contrib[src], n)
         if np.max(np.abs(nxt - pr)) < tol:
             return nxt
         pr = nxt

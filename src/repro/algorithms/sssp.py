@@ -73,3 +73,6 @@ class SSSPProgram(DeltaProgram):
         delta_per_edge: np.ndarray,
     ) -> np.ndarray:
         return delta_per_edge + mg.eweight[edge_sel]
+
+    def edge_transform(self, mg: MachineGraph):
+        return ("add", mg.eweight)

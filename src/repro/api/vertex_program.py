@@ -34,6 +34,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import AlgorithmError
+from repro.kernels.segment_reduce import scatter_reduce
 from repro.partition.partitioned_graph import MachineGraph
 
 __all__ = [
@@ -75,8 +76,12 @@ class DeltaAlgebra:
         return self.ufunc(a, b)
 
     def combine_at(self, buf: np.ndarray, idx: np.ndarray, values) -> None:
-        """Scatter-accumulate: ``buf[idx] ⊕= values`` with repeats folded."""
-        self.ufunc.at(buf, idx, values)
+        """Scatter-accumulate: ``buf[idx] ⊕= values`` with repeats folded.
+
+        Dispatches to the monoid-specialized kernel layer
+        (:mod:`repro.kernels`); bit-identical to ``ufunc.at``.
+        """
+        scatter_reduce(self, buf, idx, values)
 
     def inverse(self, total, own):
         """Remove ``own`` from ``total`` (requires an inverse)."""
@@ -187,6 +192,31 @@ class DeltaProgram(abc.ABC):
         divides by the source's global out-degree; SSSP adds the edge
         weight).
         """
+
+    def edge_transform(
+        self, mg: MachineGraph
+    ) -> Optional[Tuple[str, Optional[np.ndarray]]]:
+        """Declarative form of :meth:`edge_message` for kernel fusion.
+
+        When the per-edge transform is a fixed elementwise op against a
+        per-edge operand that does not change over the run, returning
+        ``(op, operand)`` lets the runtime hoist the operand into the
+        machine's cached CSR plan (in sorted edge order) and fuse the
+        transform into the sweep, skipping :meth:`edge_message`'s
+        per-call edge gathers. Supported ops:
+
+        * ``("identity", None)`` — message is the delta unchanged;
+        * ``("add", x)`` — ``delta + x`` (scalar or per-local-edge array);
+        * ``("divide", x)`` — ``delta / x`` (scalar or per-local-edge
+          array).
+
+        The contract is **bit-identity**: for every edge selection ``e``
+        and payload ``d``, ``edge_message(mg, e, d)`` must equal the
+        declared op applied with ``operand[e]``, bit for bit (the ops
+        are evaluated with the same ufunc either way). Return ``None``
+        (the default) to keep the general ``edge_message`` path.
+        """
+        return None
 
     # ------------------------------------------------------------------
     def values(

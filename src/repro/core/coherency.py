@@ -35,6 +35,7 @@ import numpy as np
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import CommMode, NetworkModel
 from repro.errors import EngineError
+from repro.kernels.segment_reduce import scatter_reduce
 from repro.obs.tracer import NULL_TRACER
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
@@ -125,7 +126,13 @@ class CoherencyExchanger:
         cnt.fill(0)
 
         # ---- collect participants' deltas -----------------------------
+        # Stage per-machine (gids, deltas) then fold once: within one
+        # machine local gids are unique, and concatenation preserves the
+        # historical machine-order fold, so the single kernel pass is
+        # bit-identical to the old per-machine ufunc.at loop.
         part_idx: List[np.ndarray] = []
+        staged_gids: List[np.ndarray] = []
+        staged_deltas: List[np.ndarray] = []
         for mi, rt in enumerate(self.runtimes):
             mask = rt.has_delta & (rt.mg.num_replicas > 1)
             if self._shared is not None:
@@ -141,9 +148,13 @@ class CoherencyExchanger:
             idx = np.flatnonzero(mask)
             part_idx.append(idx)
             if idx.size:
-                gids = rt.mg.vertices[idx]
-                alg.combine_at(total, gids, rt.delta_msg[idx])
-                np.add.at(cnt, gids, 1)
+                staged_gids.append(rt.mg.vertices[idx])
+                staged_deltas.append(rt.delta_msg[idx])
+        if staged_gids:
+            all_gids = np.concatenate(staged_gids)
+            scatter_reduce(alg, total, all_gids, np.concatenate(staged_deltas))
+            # replica counts are pure integer sums — no ⊕ semantics needed
+            cnt[:] = np.bincount(all_gids, minlength=cnt.size)
 
         exchanged = np.flatnonzero(cnt > 0)
         if exchanged.size == 0:

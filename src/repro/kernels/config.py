@@ -1,0 +1,122 @@
+"""Process-wide tunables for kernel dispatch and sweep selection.
+
+The defaults encode crossovers *measured on this class of host* (see
+``benchmarks/bench_kernels.py`` and ``BENCH_kernels.json``). Two facts
+drive them:
+
+* NumPy ≥ 1.25 registers indexed inner loops for ``add``/``minimum``/
+  ``maximum``, so a bare ``ufunc.at`` is already a single memory-bound
+  pass — a specialized fold only wins when it can reuse structure that
+  was *precomputed once* (per-slot counts, a by-target grouping) instead
+  of re-deriving it per call. ``sum_spec="plan"`` / ``minmax_spec="plan"``
+  say exactly that: specialize only when the caller hands over plan
+  structure, fall back to ``ufunc.at`` otherwise.
+* On older NumPy, ``ufunc.at`` is an unbuffered 10–100× slower loop;
+  there the ``"always"`` settings (bincount sums, sort+reduceat min/max
+  regardless of plan structure) are the right choice. The property suite
+  runs both settings — they are bit-identical, only speed differs.
+
+``mode="generic"`` pins every fold *and* every sweep decision to the
+pre-kernel behaviour (per-call flatten + ``ufunc.at``), which the bench
+harness and the property suite use as the bit-identical baseline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["KernelConfig", "get_config", "set_config", "configured"]
+
+_MODES = ("auto", "generic")
+_SPECS = ("plan", "always")
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Dispatch thresholds; one process-wide instance (see get_config).
+
+    Attributes
+    ----------
+    mode:
+        ``"auto"`` picks specialized kernels; ``"generic"`` forces the
+        per-call flatten + ``ufunc.at`` fallback everywhere (baseline
+        measurements).
+    min_specialize:
+        Scatters smaller than this always use ``ufunc.at`` (setup cost
+        dominates below it).
+    sum_spec:
+        ``"plan"`` — the bincount sum kernel runs only when the caller
+        provides precomputed per-slot counts (a
+        :class:`~repro.kernels.csr.CSRPlan` full sweep); ``"always"`` —
+        run it for any large-enough scatter (older NumPy without
+        indexed ``ufunc.at`` loops).
+    minmax_spec:
+        ``"plan"`` — min/max segment folds run only presorted (the
+        sort amortized into a :class:`~repro.kernels.csr.CSRPlan`);
+        ``"always"`` — per-call stable sort + ``reduceat`` for any
+        large-enough scatter (older NumPy).
+    dense_sweep_fraction:
+        :meth:`repro.kernels.csr.CSRPlan.select` switches from the
+        frontier-driven flatten to the dense full-CSR sweep when the
+        frontier covers at least this fraction of local edges.
+    dense_min_edges:
+        Dense sweeps need at least this many local edges to be worth
+        the O(E) masking.
+    """
+
+    mode: str = "auto"
+    min_specialize: int = 32
+    sum_spec: str = "plan"
+    minmax_spec: str = "plan"
+    dense_sweep_fraction: float = 0.5
+    dense_min_edges: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(
+                f"kernel mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.sum_spec not in _SPECS:
+            raise ConfigError(
+                f"sum_spec must be one of {_SPECS}, got {self.sum_spec!r}"
+            )
+        if self.minmax_spec not in _SPECS:
+            raise ConfigError(
+                f"minmax_spec must be one of {_SPECS}, got {self.minmax_spec!r}"
+            )
+        if not 0.0 <= self.dense_sweep_fraction:
+            raise ConfigError("dense_sweep_fraction must be >= 0")
+
+
+_config = KernelConfig()
+
+
+def get_config() -> KernelConfig:
+    """The active kernel configuration."""
+    return _config
+
+
+def set_config(**overrides) -> KernelConfig:
+    """Replace fields of the active configuration; returns the new one."""
+    global _config
+    _config = replace(_config, **overrides)
+    return _config
+
+
+@contextmanager
+def configured(**overrides):
+    """Temporarily override the active configuration.
+
+    >>> with configured(mode="generic"):
+    ...     pass  # every fold inside uses the ufunc.at baseline
+    """
+    global _config
+    prev = _config
+    _config = replace(prev, **overrides)
+    try:
+        yield _config
+    finally:
+        _config = prev

@@ -1,0 +1,174 @@
+"""Cached CSR flatten structures and the frontier-adaptive sweep choice.
+
+Both engine families repeatedly expand "the edges of these vertices"
+from a grouped-by-key edge list. Doing that per call with
+``np.repeat``/``np.cumsum``/``np.arange`` re-derives the same index
+arithmetic and allocates fresh buffers every round; a :class:`CSRPlan`
+precomputes everything that depends only on the graph — the stable edge
+order, the per-key slices, the key/value arrays in sorted order, the
+by-destination grouping for presorted segment folds — plus reusable
+scratch, at machine-runtime construction.
+
+:meth:`CSRPlan.select` is the push/pull-style mode switch: when the
+frontier's edges cover enough of the local CSR (the
+``dense_sweep_fraction`` tunable), expanding per-vertex ranges costs
+more than sweeping the whole edge list with a boolean mask (or, for a
+full frontier, no mask at all), so the plan returns the dense selection
+instead of the sparse flatten. Positions are always returned in
+sorted-key order restricted to the frontier — the same edge order the
+sparse flatten produces for ascending ``idx`` — so downstream folds are
+bit-identical across modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.config import get_config
+
+__all__ = ["CSRPlan"]
+
+SPARSE = "sparse"
+DENSE = "dense"
+DENSE_FULL = "dense-full"
+
+
+class CSRPlan:
+    """Grouped view of an edge list keyed by one endpoint.
+
+    Parameters
+    ----------
+    key:
+        Per-edge grouping key (local source index for out-CSRs, local
+        target index for in-CSRs).
+    n:
+        Number of key slots (local vertices).
+    dst:
+        Optional per-edge companion array (the other endpoint); when
+        given, ``dst_sorted`` and the by-destination grouping used by
+        presorted dense folds are precomputed as well.
+    """
+
+    def __init__(
+        self, key: np.ndarray, n: int, dst: Optional[np.ndarray] = None
+    ) -> None:
+        order = np.argsort(key, kind="stable").astype(np.int64)
+        self.eorder = order
+        self.key_sorted = key[order]
+        self.indptr = np.searchsorted(
+            self.key_sorted, np.arange(n + 1)
+        ).astype(np.int64)
+        self.counts = np.diff(self.indptr)
+        self.num_slots = n
+        self.num_edges = int(order.size)
+        # slots that own at least one edge — the full sweep's touched set
+        self.nonempty_slots = np.flatnonzero(self.counts > 0)
+        self._arange = np.arange(self.num_edges, dtype=np.int64)
+        self._mask_scratch = np.zeros(n, dtype=bool)
+        self.dst_sorted: Optional[np.ndarray] = None
+        self.dst_counts_full: Optional[np.ndarray] = None
+        self.dst_targets: Optional[np.ndarray] = None
+        self._by_dst: Optional[np.ndarray] = None
+        self._dst_starts: Optional[np.ndarray] = None
+        if dst is not None:
+            ds = dst[order]
+            self.dst_sorted = ds
+            # per-target contribution counts of a full sweep — the
+            # precomputed `counts` hint that unlocks the buffered sum
+            # kernel (scatter_reduce) at zero per-call cost
+            self.dst_counts_full = np.bincount(ds, minlength=n).astype(np.int64)
+            # targets a full sweep touches, ascending (for has_msg flags)
+            self.dst_targets = np.flatnonzero(self.dst_counts_full[:n] > 0)
+
+    # -- lazy by-destination grouping (reduceat-style presorted folds) --
+    @property
+    def by_dst(self) -> np.ndarray:
+        """Stable by-destination grouping of the key-sorted edge list.
+
+        Per destination, edges keep their key-sorted order, so a
+        presorted segment fold sees values in the same per-slot order as
+        the sparse path. Computed on first use — the default dispatch
+        folds full sweeps through per-slot scratch instead (see
+        ``docs/performance.md``), so most runs never pay this sort.
+        """
+        if self._by_dst is None:
+            if self.dst_sorted is None:
+                raise ValueError("CSRPlan was built without a dst array")
+            self._by_dst = np.argsort(self.dst_sorted, kind="stable").astype(
+                np.int64
+            )
+        return self._by_dst
+
+    @property
+    def dst_starts(self) -> np.ndarray:
+        """Segment starts of the by-destination grouping (for reduceat)."""
+        if self._dst_starts is None:
+            dsts = self.dst_sorted[self.by_dst]
+            if dsts.size:
+                self._dst_starts = np.concatenate(
+                    ([0], np.flatnonzero(dsts[1:] != dsts[:-1]) + 1)
+                ).astype(np.int64)
+            else:
+                self._dst_starts = np.empty(0, dtype=np.int64)
+        return self._dst_starts
+
+    # ------------------------------------------------------------------
+    def flatten(self, idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse expansion: positions (into sorted order) of ``idx``'s
+        edges, plus the per-vertex counts. Positions preserve the order
+        of ``idx`` and, within a vertex, sorted-edge order."""
+        starts = self.indptr[idx]
+        counts = self.indptr[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return self._arange[:0], counts
+        base = np.repeat(starts, counts)
+        reps = np.repeat(np.cumsum(counts) - counts, counts)
+        pos = base + (self._arange[:total] - reps)
+        return pos, counts
+
+    def select(
+        self, idx: np.ndarray
+    ) -> Tuple[str, Optional[np.ndarray], Optional[np.ndarray], int]:
+        """Frontier-adaptive edge selection for the vertices ``idx``.
+
+        Returns ``(mode, pos, counts, total)``:
+
+        * ``mode == "sparse"`` — ``pos`` are the frontier's edge
+          positions from :meth:`flatten`, ``counts`` the per-vertex
+          edge counts (for ``np.repeat``-style payload expansion);
+        * ``mode == "dense"`` — ``pos`` from one boolean sweep over the
+          whole CSR (``counts`` is None; expand payloads via a full
+          per-slot array instead);
+        * ``mode == "dense-full"`` — the frontier covers every edge;
+          ``pos`` is None meaning "all edges in sorted order".
+
+        ``idx`` must be sorted ascending (every engine frontier is — it
+        comes from ``np.flatnonzero``) so that all three modes emit
+        edges in the same order.
+        """
+        cfg = get_config()
+        starts = self.indptr[idx]
+        counts = self.indptr[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return SPARSE, self._arange[:0], counts, 0
+        dense_ok = (
+            cfg.mode != "generic"
+            and self.num_edges >= cfg.dense_min_edges
+            and total >= cfg.dense_sweep_fraction * self.num_edges
+        )
+        if not dense_ok:
+            base = np.repeat(starts, counts)
+            reps = np.repeat(np.cumsum(counts) - counts, counts)
+            pos = base + (self._arange[:total] - reps)
+            return SPARSE, pos, counts, total
+        if total == self.num_edges:
+            return DENSE_FULL, None, None, total
+        mask = self._mask_scratch
+        mask[:] = False
+        mask[idx] = True
+        pos = np.flatnonzero(mask[self.key_sorted])
+        return DENSE, pos, None, total

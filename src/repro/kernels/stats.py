@@ -1,0 +1,53 @@
+"""Host-time accounting for kernel invocations.
+
+Each :class:`~repro.runtime.machine_runtime.MachineRuntime` keeps one
+:class:`KernelStats`; the engine merges them into
+``RunStats.extra["kernel_*"]`` at the end of a run, so traces and bench
+output show where host time went and which sweep modes/kernels fired.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["KernelStats"]
+
+
+class KernelStats:
+    """Per-label call counts and host seconds (label = op/mode/kernel)."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, label: str, dt: float) -> None:
+        self.calls[label] = self.calls.get(label, 0) + 1
+        self.seconds[label] = self.seconds.get(label, 0.0) + dt
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        for k, v in other.calls.items():
+            self.calls[k] = self.calls.get(k, 0) + v
+        for k, v in other.seconds.items():
+            self.seconds[k] = self.seconds.get(k, 0.0) + v
+        return self
+
+    @classmethod
+    def merged(cls, many: Iterable["KernelStats"]) -> "KernelStats":
+        out = cls()
+        for ks in many:
+            out.merge(ks)
+        return out
+
+    def as_extra(self) -> Dict[str, float]:
+        """Flatten into ``RunStats.extra``-compatible counter entries."""
+        out: Dict[str, float] = {}
+        for k, v in self.calls.items():
+            out[f"kernel_{k}_calls"] = float(v)
+        for k, v in self.seconds.items():
+            out[f"kernel_{k}_host_s"] = v
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self.calls)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
 from repro.errors import ConvergenceError, EngineError
+from repro.kernels import CSRPlan, scatter_reduce
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import MachineGraph, PartitionedGraph
 from repro.powergraph.gas import GASProgram
@@ -29,53 +30,71 @@ __all__ = ["PowerGraphGASSyncEngine"]
 
 
 class _GASMachine:
-    """Per-machine state for the pull engine: data + local in-CSR."""
+    """Per-machine state for the pull engine: data + cached CSR plans.
+
+    Both local CSRs (in-edges for gather, out-edges for activation) are
+    :class:`~repro.kernels.csr.CSRPlan` instances, so the flatten
+    structures and scratch are built once and every per-superstep edge
+    selection is frontier-adaptive (sparse range expansion vs a dense
+    full-CSR sweep).
+    """
 
     def __init__(self, mg: MachineGraph, program: GASProgram) -> None:
         self.mg = mg
         self.state = program.make_state(mg)
         n = mg.num_local_vertices
-        order = np.argsort(mg.edst, kind="stable").astype(np.int64)
-        self.in_eorder = order
-        self.in_indptr = np.searchsorted(mg.edst[order], np.arange(n + 1)).astype(
-            np.int64
-        )
-        order_out = np.argsort(mg.esrc, kind="stable").astype(np.int64)
-        self.out_eorder = order_out
-        self.out_indptr = np.searchsorted(
-            mg.esrc[order_out], np.arange(n + 1)
-        ).astype(np.int64)
+        self.in_plan = CSRPlan(mg.edst, n)
+        self.out_plan = CSRPlan(mg.esrc, n)
+        self._acc_scratch = np.empty(n, dtype=np.float64)
 
-    def _edges_of(self, idx: np.ndarray, indptr, eorder) -> np.ndarray:
-        starts = indptr[idx]
-        counts = indptr[idx + 1] - starts
-        total = int(counts.sum())
+    def _edges_of(self, plan: CSRPlan, idx: np.ndarray) -> np.ndarray:
+        mode, pos, _counts, total = plan.select(idx)
         if total == 0:
             return np.empty(0, dtype=np.int64)
-        base = np.repeat(starts, counts)
-        reps = np.repeat(np.cumsum(counts) - counts, counts)
-        return eorder[base + (np.arange(total) - reps)]
+        if pos is None:  # dense-full sweep: every local edge
+            return plan.eorder
+        return plan.eorder[pos]
 
     def gather(self, program: GASProgram, active_local: np.ndarray):
         """Pull over local in-edges of the active local vertices.
 
         Returns ``(local idx with in-edges, partial accums, edges pulled)``.
+        The accums are views into per-machine scratch, consumed by the
+        caller before the next gather. The in-plan is keyed by target,
+        so the fold targets are the sorted keys themselves; a dense-full
+        sweep reuses the plan's precomputed per-slot counts and touched
+        set (the counts hint unlocks the buffered sum kernel).
         """
         idx = np.flatnonzero(active_local)
-        e_sel = self._edges_of(idx, self.in_indptr, self.in_eorder)
-        if e_sel.size == 0:
+        if idx.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0), 0
+        plan = self.in_plan
+        mode, pos, _counts, total = plan.select(idx)
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0), 0
+        if pos is None:  # dense-full: every local in-edge, sorted by target
+            e_sel = plan.eorder
+            tgt = plan.key_sorted
+            counts = plan.counts
+            touched = plan.nonempty_slots
+        else:
+            e_sel = plan.eorder[pos]
+            tgt = plan.key_sorted[pos]  # == mg.edst[e_sel], no gather
+            counts = None
+            # tgt is ascending (positions are in sorted-key order), so
+            # the touched set falls out of the segment boundaries
+            bounds = np.flatnonzero(tgt[1:] != tgt[:-1]) + 1
+            touched = tgt[np.concatenate(([0], bounds))]
         vals = program.gather_values(self.mg, self.state, e_sel)
         alg = program.algebra
-        acc = np.full(self.mg.num_local_vertices, alg.identity)
-        tgt = self.mg.edst[e_sel]
-        alg.combine_at(acc, tgt, vals)
-        touched = np.unique(tgt)
+        acc = self._acc_scratch
+        acc.fill(alg.identity)
+        scatter_reduce(alg, acc, tgt, vals, counts=counts)
         return touched, acc[touched], int(e_sel.size)
 
     def out_targets(self, idx: np.ndarray) -> np.ndarray:
         """Global ids reached by the out-edges of local vertices ``idx``."""
-        e_sel = self._edges_of(idx, self.out_indptr, self.out_eorder)
+        e_sel = self._edges_of(self.out_plan, idx)
         if e_sel.size == 0:
             return np.empty(0, dtype=np.int64)
         return self.mg.vertices[self.mg.edst[e_sel]]

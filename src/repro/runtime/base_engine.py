@@ -11,6 +11,7 @@ from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
 from repro.errors import ConvergenceError, EngineError
+from repro.kernels import KernelStats
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
@@ -65,7 +66,8 @@ class BaseEngine(abc.ABC):
         if self.tracer.enabled:
             self.tracer.bind_stats(self.sim.stats)
         self.runtimes: List[MachineRuntime] = [
-            MachineRuntime(mg, program) for mg in pgraph.machines
+            MachineRuntime(mg, program, tracer=self.tracer)
+            for mg in pgraph.machines
         ]
 
     # ------------------------------------------------------------------
@@ -100,6 +102,11 @@ class BaseEngine(abc.ABC):
         """Execute to convergence (or ``max_supersteps``) and collect results."""
         converged = self._execute()
         self.sim.stats.converged = converged
+        # surface per-kernel host timings + sweep-mode counts (they ride
+        # into traces through RunStats.to_dict)
+        ks = KernelStats.merged(rt.kernel_stats for rt in self.runtimes)
+        for key, val in ks.as_extra().items():
+            self.sim.stats.extra[key] = val
         if not converged:
             raise ConvergenceError(
                 f"{self.name}/{self.program.name} did not converge within "

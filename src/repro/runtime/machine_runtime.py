@@ -16,27 +16,64 @@ neighbours are direct writes into the target's ``msg`` (and, for
 one-edge-mode edges only, ``deltaMsg``) exactly as the paper's
 ``ScatterGatherMsg`` specifies; parallel-edge messages skip ``deltaMsg``
 so they are never re-sent at a coherency point.
+
+Hot-path layout (the kernel layer)
+----------------------------------
+All CSR flatten structures — edge order, per-source slices, the
+by-destination grouping, per-target counts, scratch buffers — are
+precomputed once at construction in a
+:class:`~repro.kernels.csr.CSRPlan`. ``scatter`` is
+*frontier-adaptive*: sparse frontiers expand per-vertex edge ranges,
+dense frontiers sweep the whole local CSR (the push/pull-style mode
+switch) with zero per-call index arithmetic. Three further fusions make
+the dense sweep fast:
+
+* programs that declare an :meth:`~repro.api.vertex_program.DeltaProgram.
+  edge_transform` get their per-edge operand hoisted into sorted edge
+  order once, so the per-call edge-id gather and ``edge_message`` call
+  disappear;
+* the parallel-edge mask is pre-inverted (and skipped entirely when no
+  parallel edges exist, the common case);
+* a full sweep folds each target segment **once** and applies the
+  segment aggregates to both ``msg`` and ``deltaMsg``
+  (fold-once/apply-twice, see :mod:`repro.kernels.segment_reduce`).
+
+All ⊕-folds are bit-identical to the historical per-call-flatten +
+``ufunc.at`` spelling (``mode="generic"`` pins that baseline). Sweep
+decisions are surfaced through the tracer (``sweep-mode`` instants on
+change) and per-kernel host timings accumulate in :attr:`kernel_stats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.api.vertex_program import DeltaProgram
+from repro.errors import AlgorithmError
+from repro.kernels import CSRPlan, KernelStats, apply_segment_sums
+from repro.kernels.config import get_config
+from repro.kernels.segment_reduce import monoid_kind, scatter_reduce
+from repro.obs.tracer import NULL_TRACER
 from repro.partition.partitioned_graph import MachineGraph
 
 __all__ = ["MachineRuntime"]
+
+_TRANSFORM_OPS = ("identity", "add", "divide")
 
 
 class MachineRuntime:
     """One machine's buffers + kernels for one program run."""
 
-    def __init__(self, mg: MachineGraph, program: DeltaProgram) -> None:
+    def __init__(
+        self, mg: MachineGraph, program: DeltaProgram, tracer=None
+    ) -> None:
         self.mg = mg
         self.program = program
         self.algebra = program.algebra
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.state: Dict[str, np.ndarray] = program.make_state(mg)
         n = mg.num_local_vertices
         ident = self.algebra.identity
@@ -44,12 +81,54 @@ class MachineRuntime:
         self.has_msg = np.zeros(n, dtype=bool)
         self.delta_msg = np.full(n, ident, dtype=np.float64)
         self.has_delta = np.zeros(n, dtype=bool)
-        # local out-CSR: local edges grouped by local source index
-        order = np.argsort(mg.esrc, kind="stable").astype(np.int64)
-        self.eorder = order
-        self.out_indptr = np.searchsorted(
-            mg.esrc[order], np.arange(n + 1)
-        ).astype(np.int64)
+        # local out-CSR plan: edge order, per-source slices, by-target
+        # grouping and scratch — computed once, reused every scatter
+        self.out_plan = CSRPlan(mg.esrc, n, dst=mg.edst)
+        self.eorder = self.out_plan.eorder  # kept: tests/benches poke it
+        self.out_indptr = self.out_plan.indptr
+        self._epar_sorted = mg.eparallel[self.out_plan.eorder]
+        self._one_edge_sorted = ~self._epar_sorted
+        self._all_one_edge = bool(self._one_edge_sorted.all())
+        self._kind = monoid_kind(self.algebra)
+        self._init_transform(program, mg)
+        # reusable scratch: take_ready accums, dense-sweep per-source
+        # deltas (only fired sources' slots are ever read back), and the
+        # per-target segment aggregates of the fold-once/apply-twice path
+        self._accum_scratch = np.empty(n, dtype=np.float64)
+        self._delta_scratch = np.empty(n, dtype=np.float64)
+        self._seg_scratch = np.empty(n, dtype=np.float64)
+        self.kernel_stats = KernelStats()
+        self._last_sweep_mode: str = ""
+
+    def _init_transform(self, program: DeltaProgram, mg: MachineGraph) -> None:
+        """Hoist the program's declarative edge transform, if any.
+
+        Array operands are re-ordered into the plan's sorted edge order
+        once, so ``scatter`` applies the transform positionally with no
+        per-call edge-id gather.
+        """
+        tf = program.edge_transform(mg)
+        self._tf_op: Optional[str] = None
+        self._tf_operand = None
+        if tf is None:
+            return
+        op, operand = tf
+        if op not in _TRANSFORM_OPS:
+            raise AlgorithmError(
+                f"{program.name}: unknown edge_transform op {op!r} "
+                f"(expected one of {_TRANSFORM_OPS})"
+            )
+        self._tf_op = op
+        if operand is None or np.ndim(operand) == 0:
+            self._tf_operand = operand
+        else:
+            operand = np.asarray(operand)
+            if operand.shape != (self.out_plan.num_edges,):
+                raise AlgorithmError(
+                    f"{program.name}: edge_transform operand must be "
+                    f"per-local-edge, got shape {operand.shape}"
+                )
+            self._tf_operand = operand[self.out_plan.eorder]
 
     # ------------------------------------------------------------------
     @property
@@ -68,6 +147,29 @@ class MachineRuntime:
         return self.scatter(idx, init_delta[idx], track_delta=True)
 
     # ------------------------------------------------------------------
+    def _edge_messages(
+        self, pos: Optional[np.ndarray], delta_per_edge: np.ndarray
+    ) -> np.ndarray:
+        """Per-edge message values for the selected positions.
+
+        Uses the hoisted transform when the program declared one (no
+        edge-id gather); falls back to ``edge_message`` otherwise.
+        ``pos`` of ``None`` means "every local edge in sorted order".
+        """
+        op = self._tf_op
+        if op is None or get_config().mode == "generic":
+            plan = self.out_plan
+            e_sel = plan.eorder if pos is None else plan.eorder[pos]
+            return self.program.edge_message(self.mg, e_sel, delta_per_edge)
+        if op == "identity":
+            return delta_per_edge
+        x = self._tf_operand
+        if isinstance(x, np.ndarray) and pos is not None:
+            x = x[pos]
+        if op == "add":
+            return delta_per_edge + x
+        return delta_per_edge / x
+
     def scatter(
         self, idx: np.ndarray, delta_out: np.ndarray, track_delta: bool
     ) -> int:
@@ -77,35 +179,135 @@ class MachineRuntime:
         job. One-edge-mode messages are folded into the targets'
         ``deltaMsg`` when ``track_delta`` (lazy engines); parallel-edge
         messages never are. Returns the number of edges traversed.
+
+        ``idx`` must be sorted ascending (engine frontiers are — they
+        come from ``np.flatnonzero``); the frontier-adaptive sweep
+        relies on it so that sparse and dense modes emit messages in
+        the same order (bit-identical ⊕-folds).
         """
         if idx.size == 0:
             return 0
-        starts = self.out_indptr[idx]
-        counts = self.out_indptr[idx + 1] - starts
-        total = int(counts.sum())
+        plan = self.out_plan
+        t0 = time.perf_counter()
+        mode, pos, counts, total = plan.select(idx)
         if total == 0:
             return 0
-        # flatten [starts[i], starts[i]+counts[i]) ranges
-        base = np.repeat(starts, counts)
-        reps = np.repeat(np.cumsum(counts) - counts, counts)
-        e_sel = self.eorder[base + (np.arange(total) - reps)]
-        delta_per_edge = np.repeat(delta_out, counts)
-        msgv = self.program.edge_message(self.mg, e_sel, delta_per_edge)
-        tgt = self.mg.edst[e_sel]
-        self.algebra.combine_at(self.msg, tgt, msgv)
-        self.has_msg[tgt] = True
-        if track_delta:
-            one_edge = ~self.mg.eparallel[e_sel]
-            if one_edge.any():
-                t1 = tgt[one_edge]
-                self.algebra.combine_at(self.delta_msg, t1, msgv[one_edge])
-                self.has_delta[t1] = True
+        if counts is not None:  # sparse: expand payload per-vertex range
+            delta_per_edge = np.repeat(delta_out, counts)
+        else:  # dense: payload via a full per-source slot array
+            dfull = self._delta_scratch
+            dfull[idx] = delta_out
+            keys = plan.key_sorted if pos is None else plan.key_sorted[pos]
+            delta_per_edge = dfull[keys]
+        msgv = self._edge_messages(pos, delta_per_edge)
+        one_edge_mask = (
+            None
+            if self._all_one_edge
+            else (self._one_edge_sorted if pos is None else self._one_edge_sorted[pos])
+        )
+        if mode != self._last_sweep_mode:
+            self._last_sweep_mode = mode
+            self.tracer.instant(
+                "sweep-mode",
+                machine=self.mg.machine_id,
+                mode=mode,
+                frontier_edges=total,
+                local_edges=plan.num_edges,
+            )
+        # ---- inbox (+ deltaMsg) fold -----------------------------------
+        if pos is None:
+            kernel = self._fold_full_sweep(msgv, one_edge_mask, track_delta)
+        else:
+            tgt = plan.dst_sorted[pos]
+            kernel = scatter_reduce(self.algebra, self.msg, tgt, msgv)
+            self.has_msg[tgt] = True
+            if track_delta:
+                if one_edge_mask is None:
+                    t1, m1 = tgt, msgv
+                else:
+                    t1, m1 = tgt[one_edge_mask], msgv[one_edge_mask]
+                if t1.size:
+                    scatter_reduce(self.algebra, self.delta_msg, t1, m1)
+                    self.has_delta[t1] = True
+        self.kernel_stats.add(f"scatter/{mode}/{kernel}", time.perf_counter() - t0)
         return total
 
+    def _fold_full_sweep(
+        self, msgv: np.ndarray, one_edge_mask, track_delta: bool
+    ) -> str:
+        """Fold a full-CSR sweep's messages using plan-precomputed structure.
+
+        Each target segment is reduced **once**; the aggregates are then
+        applied to ``msg`` and (when every edge is one-edge-mode, the
+        common case) re-applied to ``delta_msg`` — both bit-identical to
+        the per-edge ``ufunc.at`` fold since segment contributions stay
+        in sorted-edge (= historical) order.
+        """
+        plan = self.out_plan
+        alg = self.algebra
+        targets = plan.dst_targets
+        if self._kind in ("min", "max"):
+            # fold every target segment once into identity-filled scratch
+            # (indexed ufunc.at loop), then apply the per-slot aggregates
+            # to both buffers with O(n) ops — sound because min/max are
+            # exact under regrouping
+            seg = self._seg_scratch
+            seg.fill(alg.identity)
+            alg.ufunc.at(seg, plan.dst_sorted, msgv)
+            self.msg[targets] = alg.ufunc(self.msg[targets], seg[targets])
+            self.has_msg[targets] = True
+            if track_delta:
+                if one_edge_mask is None:
+                    self.delta_msg[targets] = alg.ufunc(
+                        self.delta_msg[targets], seg[targets]
+                    )
+                    self.has_delta[targets] = True
+                else:
+                    self._fold_delta_subset(one_edge_mask, msgv)
+            return "minmax_shared"
+        if self._kind == "sum":
+            sums = np.bincount(
+                plan.dst_sorted, weights=msgv, minlength=plan.num_slots
+            )
+            cnts = plan.dst_counts_full
+            apply_segment_sums(self.msg, sums, cnts, plan.dst_sorted, msgv)
+            self.has_msg[targets] = True
+            if track_delta:
+                if one_edge_mask is None:
+                    apply_segment_sums(
+                        self.delta_msg, sums, cnts, plan.dst_sorted, msgv
+                    )
+                    self.has_delta[targets] = True
+                else:
+                    self._fold_delta_subset(one_edge_mask, msgv)
+            return "bincount_shared"
+        kernel = scatter_reduce(alg, self.msg, plan.dst_sorted, msgv)
+        self.has_msg[targets] = True
+        if track_delta:
+            if one_edge_mask is None:
+                scatter_reduce(alg, self.delta_msg, plan.dst_sorted, msgv)
+                self.has_delta[targets] = True
+            else:
+                self._fold_delta_subset(one_edge_mask, msgv)
+        return kernel
+
+    def _fold_delta_subset(self, one_edge_mask: np.ndarray, msgv: np.ndarray):
+        """deltaMsg fold for a full sweep that crossed parallel edges."""
+        t1 = self.out_plan.dst_sorted[one_edge_mask]
+        if t1.size:
+            scatter_reduce(self.algebra, self.delta_msg, t1, msgv[one_edge_mask])
+            self.has_delta[t1] = True
+
     def take_ready(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Drain the inbox: (local indices, combined accums); inbox cleared."""
+        """Drain the inbox: (local indices, combined accums); inbox cleared.
+
+        The accum array is a view into per-machine scratch, valid until
+        the next ``take_ready`` on this runtime — every engine consumes
+        it immediately (Apply reads it within the same round).
+        """
         idx = np.flatnonzero(self.has_msg)
-        accum = self.msg[idx].copy()
+        accum = self._accum_scratch[: idx.size]
+        np.take(self.msg, idx, out=accum)
         self.msg[idx] = self.algebra.identity
         self.has_msg[idx] = False
         return idx, accum

@@ -1,0 +1,269 @@
+"""Property tests: kernel-layer bit-identity against ``ufunc.at``.
+
+The kernel package promises that every specialized fold — bincount
+sums, presorted min/max segment reductions, the dense-sweep paths in
+:class:`~repro.runtime.machine_runtime.MachineRuntime` — is
+*bit-identical* to the historical per-call ``ufunc.at`` spelling, for
+every registered algebra, including empty scatters, duplicate indices,
+self-loops, and arbitrary pre-existing buffer contents (the residual
+path of ``apply_segment_sums``). These tests are the enforcement.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ConnectedComponentsProgram, PageRankDeltaProgram
+from repro.api.vertex_program import MAX_ALGEBRA, MIN_ALGEBRA, SUM_ALGEBRA
+from repro.graph.digraph import DiGraph
+from repro.kernels import (
+    apply_segment_sums,
+    configured,
+    fold_segments_presorted,
+    scatter_reduce,
+    segment_sum,
+)
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+ALGEBRAS = [SUM_ALGEBRA, MIN_ALGEBRA, MAX_ALGEBRA]
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+# buffer cells: arbitrary finite values plus the interesting sum cases
+# (+0.0 identity, -0.0 which must NOT be treated as identity) and the
+# min/max identities
+buf_cell = st.one_of(
+    finite,
+    st.just(0.0),
+    st.just(-0.0),
+    st.just(np.inf),
+    st.just(-np.inf),
+)
+
+
+def bits(a) -> list:
+    """Bit-exact comparison key (distinguishes ±0.0, exact floats)."""
+    return np.asarray(a, dtype=np.float64).view(np.int64).tolist()
+
+
+@st.composite
+def scatters(draw, max_slots=10, max_len=48):
+    """A scatter problem: slot count, duplicate-heavy indices, values,
+    and an arbitrary pre-existing buffer."""
+    n = draw(st.integers(min_value=1, max_value=max_slots))
+    m = draw(st.integers(min_value=0, max_value=max_len))
+    idx = np.asarray(
+        draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+        dtype=np.int64,
+    )
+    values = np.asarray(
+        draw(st.lists(finite, min_size=m, max_size=m)), dtype=np.float64
+    )
+    buf = np.asarray(
+        draw(st.lists(buf_cell, min_size=n, max_size=n)), dtype=np.float64
+    )
+    return n, idx, values, buf
+
+
+# ----------------------------------------------------------------------
+# scatter_reduce: every specialized path == ufunc.at, bit for bit
+# ----------------------------------------------------------------------
+@given(s=scatters())
+@settings(max_examples=200, deadline=None)
+def test_sum_bincount_kernel_bit_identical(s):
+    """Forced bincount path (``sum_spec="always"``) == np.add.at."""
+    n, idx, values, buf = s
+    base = buf.copy()
+    np.add.at(base, idx, values)
+    with configured(min_specialize=1, sum_spec="always"):
+        out = buf.copy()
+        scatter_reduce(SUM_ALGEBRA, out, idx, values)
+    assert bits(out) == bits(base)
+
+
+@given(s=scatters())
+@settings(max_examples=200, deadline=None)
+def test_sum_counts_hint_bit_identical(s):
+    """The plan-provided ``counts`` hint path == np.add.at."""
+    n, idx, values, buf = s
+    base = buf.copy()
+    np.add.at(base, idx, values)
+    with configured(min_specialize=1):  # default sum_spec="plan"
+        out = buf.copy()
+        scatter_reduce(
+            SUM_ALGEBRA, out, idx, values,
+            counts=np.bincount(idx, minlength=n),
+        )
+    assert bits(out) == bits(base)
+
+
+@given(s=scatters())
+@settings(max_examples=200, deadline=None)
+def test_minmax_sort_reduceat_bit_identical(s):
+    """Forced sort+reduceat path (``minmax_spec="always"``) == ufunc.at."""
+    n, idx, values, buf = s
+    for alg in (MIN_ALGEBRA, MAX_ALGEBRA):
+        base = buf.copy()
+        alg.ufunc.at(base, idx, values)
+        with configured(min_specialize=1, minmax_spec="always"):
+            out = buf.copy()
+            scatter_reduce(alg, out, idx, values)
+        assert bits(out) == bits(base), alg.name
+
+
+@given(s=scatters())
+@settings(max_examples=100, deadline=None)
+def test_default_dispatch_bit_identical(s):
+    """Whatever the default config dispatches to == ufunc.at."""
+    n, idx, values, buf = s
+    for alg in ALGEBRAS:
+        base = buf.copy()
+        alg.ufunc.at(base, idx, values)
+        out = buf.copy()
+        scatter_reduce(alg, out, idx, values)
+        assert bits(out) == bits(base), alg.name
+
+
+@given(s=scatters(), scalar=finite)
+@settings(max_examples=100, deadline=None)
+def test_scalar_payload_broadcast(s, scalar):
+    """Scalar payloads broadcast to idx.shape in every kernel."""
+    n, idx, _values, buf = s
+    for alg in ALGEBRAS:
+        base = buf.copy()
+        alg.ufunc.at(base, idx, np.broadcast_to(scalar, idx.shape))
+        with configured(
+            min_specialize=1, sum_spec="always", minmax_spec="always"
+        ):
+            out = buf.copy()
+            scatter_reduce(alg, out, idx, scalar)
+        assert bits(out) == bits(base), alg.name
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+@given(s=scatters())
+@settings(max_examples=150, deadline=None)
+def test_apply_segment_sums_residual_exact(s):
+    """fold-once/apply-twice primitive == np.add.at on dirty buffers."""
+    n, idx, values, buf = s
+    sums = np.bincount(idx, weights=values, minlength=n)
+    counts = np.bincount(idx, minlength=n)
+    base = buf.copy()
+    np.add.at(base, idx, values)
+    out = buf.copy()
+    apply_segment_sums(out, sums, counts, idx, values)
+    assert bits(out) == bits(base)
+
+
+@given(s=scatters())
+@settings(max_examples=100, deadline=None)
+def test_segment_sum_matches_add_at(s):
+    n, idx, values, _buf = s
+    base = np.zeros(n, dtype=np.float64)
+    np.add.at(base, idx, values)
+    fast = segment_sum(idx, values, n)
+    with configured(mode="generic"):
+        slow = segment_sum(idx, values, n)
+    assert bits(fast) == bits(base)
+    assert bits(slow) == bits(base)
+
+
+@given(s=scatters())
+@settings(max_examples=100, deadline=None)
+def test_fold_segments_presorted_bit_identical(s):
+    """Presorted segment fold == ufunc.at for the idempotent algebras."""
+    n, idx, values, buf = s
+    order = np.argsort(idx, kind="stable")
+    si, sv = idx[order], values[order]
+    if si.size:
+        starts = np.concatenate(
+            ([0], np.flatnonzero(si[1:] != si[:-1]) + 1)
+        ).astype(np.int64)
+        targets = si[starts]
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        targets = si[:0]
+    for alg in (MIN_ALGEBRA, MAX_ALGEBRA):
+        base = buf.copy()
+        alg.ufunc.at(base, idx, values)
+        out = buf.copy()
+        fold_segments_presorted(alg, out, sv, starts, targets)
+        assert bits(out) == bits(base), alg.name
+
+
+# ----------------------------------------------------------------------
+# MachineRuntime.scatter: sweep modes are observationally identical
+# ----------------------------------------------------------------------
+@st.composite
+def scatter_runs(draw, max_n=7, max_m=20):
+    """A tiny graph (self-loops/duplicates allowed), a frontier, deltas."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    mask = np.asarray(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    deltas = np.asarray(
+        draw(st.lists(finite, min_size=int(mask.sum()),
+                      max_size=int(mask.sum()))),
+        dtype=np.float64,
+    )
+    track = draw(st.booleans())
+    return n, src, dst, mask, deltas, track
+
+
+# the three sweep regimes: pre-kernel baseline, sparse flatten, dense
+SWEEP_CONFIGS = [
+    dict(mode="generic"),
+    dict(dense_min_edges=10**9),                      # always sparse
+    dict(dense_min_edges=1, dense_sweep_fraction=0.0),  # dense asap
+]
+
+
+def _scatter_state(program_cls, n, src, dst, mask, deltas, track, cfg):
+    g = DiGraph(n, src, dst)
+    pg = PartitionedGraph.build(
+        g, np.zeros(g.num_edges, dtype=np.int32), 1
+    )
+    with configured(min_specialize=1, **cfg):
+        rt = MachineRuntime(pg.machines[0], program_cls())
+        rt.scatter(np.flatnonzero(mask), deltas, track_delta=track)
+    return (
+        bits(rt.msg),
+        bits(rt.delta_msg),
+        rt.has_msg.tolist(),
+        rt.has_delta.tolist(),
+    )
+
+
+@given(r=scatter_runs())
+@settings(max_examples=80, deadline=None)
+def test_cc_scatter_identical_across_sweep_modes(r):
+    """min-monoid scatter: generic == sparse == dense, bit for bit."""
+    n, src, dst, mask, deltas, track = r
+    states = [
+        _scatter_state(
+            ConnectedComponentsProgram, n, src, dst, mask, deltas, track, cfg
+        )
+        for cfg in SWEEP_CONFIGS
+    ]
+    assert states[0] == states[1] == states[2]
+
+
+@given(r=scatter_runs())
+@settings(max_examples=80, deadline=None)
+def test_pagerank_scatter_identical_across_sweep_modes(r):
+    """sum-monoid scatter (divide transform): all sweep modes agree."""
+    n, src, dst, mask, deltas, track = r
+    states = [
+        _scatter_state(
+            PageRankDeltaProgram, n, src, dst, mask, deltas, track, cfg
+        )
+        for cfg in SWEEP_CONFIGS
+    ]
+    assert states[0] == states[1] == states[2]

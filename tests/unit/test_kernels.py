@@ -1,0 +1,372 @@
+"""Unit tests for the kernel layer: config, CSR plans, dispatch, stats."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConnectedComponentsProgram, PageRankDeltaProgram
+from repro.api.vertex_program import MAX_ALGEBRA, MIN_ALGEBRA, SUM_ALGEBRA
+from repro.errors import AlgorithmError, ConfigError
+from repro.graph.digraph import DiGraph
+from repro.kernels import (
+    CSRPlan,
+    KernelConfig,
+    apply_segment_sums,
+    configured,
+    get_config,
+    monoid_kind,
+    scatter_reduce,
+    segment_sum,
+    set_config,
+)
+from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.machine_runtime import MachineRuntime
+
+
+class TestKernelConfig:
+    def test_defaults(self):
+        cfg = KernelConfig()
+        assert cfg.mode == "auto"
+        assert cfg.sum_spec == "plan" and cfg.minmax_spec == "plan"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(mode="fast"),
+            dict(sum_spec="never"),
+            dict(minmax_spec="maybe"),
+            dict(dense_sweep_fraction=-0.1),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ConfigError):
+            KernelConfig(**bad)
+
+    def test_configured_restores_on_exit_and_error(self):
+        before = get_config()
+        with configured(mode="generic"):
+            assert get_config().mode == "generic"
+        assert get_config() is before
+        with pytest.raises(RuntimeError):
+            with configured(min_specialize=7):
+                raise RuntimeError("boom")
+        assert get_config() is before
+
+    def test_set_config_replaces(self):
+        before = get_config()
+        try:
+            cfg = set_config(dense_min_edges=17)
+            assert get_config() is cfg and cfg.dense_min_edges == 17
+        finally:
+            set_config(dense_min_edges=before.dense_min_edges)
+
+
+class TestMonoidKind:
+    def test_kinds(self):
+        assert monoid_kind(SUM_ALGEBRA) == "sum"
+        assert monoid_kind(MIN_ALGEBRA) == "min"
+        assert monoid_kind(MAX_ALGEBRA) == "max"
+
+    def test_unknown_ufunc_is_generic(self):
+        class Odd:
+            ufunc = np.multiply
+
+        assert monoid_kind(Odd()) == "generic"
+
+
+# ----------------------------------------------------------------------
+# CSRPlan
+# ----------------------------------------------------------------------
+class TestCSRPlan:
+    # edges grouped by source: 0->{1,2}, 2->{0,0}; vertex 1 has none
+    KEY = np.array([2, 0, 2, 0])
+    DST = np.array([0, 1, 0, 2])
+
+    def plan(self):
+        return CSRPlan(self.KEY, 3, dst=self.DST)
+
+    def test_flatten_structures(self):
+        p = self.plan()
+        assert p.key_sorted.tolist() == [0, 0, 2, 2]
+        assert p.counts.tolist() == [2, 0, 2]
+        assert p.indptr.tolist() == [0, 2, 2, 4]
+        assert p.nonempty_slots.tolist() == [0, 2]
+        # stable order: original edge ids 1,3 (src 0) then 0,2 (src 2)
+        assert p.eorder.tolist() == [1, 3, 0, 2]
+
+    def test_flatten_matches_naive(self):
+        p = self.plan()
+        pos, counts = p.flatten(np.array([0, 2]))
+        assert counts.tolist() == [2, 2]
+        assert p.key_sorted[pos].tolist() == [0, 0, 2, 2]
+        pos, counts = p.flatten(np.array([1]))
+        assert pos.size == 0 and counts.tolist() == [0]
+
+    def test_dst_precomputations(self):
+        p = self.plan()
+        assert p.dst_sorted.tolist() == [1, 2, 0, 0]
+        assert p.dst_counts_full.tolist() == [2, 1, 1]
+        assert p.dst_targets.tolist() == [0, 1, 2]
+
+    def test_by_dst_is_lazy_and_stable(self):
+        p = self.plan()
+        assert p._by_dst is None
+        by = p.by_dst
+        assert p._by_dst is not None
+        # grouped by destination, key-sorted order preserved per group
+        assert p.dst_sorted[by].tolist() == [0, 0, 1, 2]
+        assert p.dst_starts.tolist() == [0, 2, 3]
+
+    def test_by_dst_without_dst_raises(self):
+        p = CSRPlan(self.KEY, 3)
+        with pytest.raises(ValueError):
+            p.by_dst
+
+    def test_select_sparse_small_frontier(self):
+        p = self.plan()
+        with configured(dense_min_edges=1, dense_sweep_fraction=0.6):
+            mode, pos, counts, total = p.select(np.array([0]))
+        assert (mode, total) == ("sparse", 2)  # 2/4 edges < 0.6
+        assert counts.tolist() == [2]
+        assert p.key_sorted[pos].tolist() == [0, 0]
+
+    def test_select_dense_full(self):
+        p = self.plan()
+        with configured(dense_min_edges=1, dense_sweep_fraction=0.5):
+            mode, pos, counts, total = p.select(np.array([0, 2]))
+        assert (mode, pos, counts, total) == ("dense-full", None, None, 4)
+
+    def test_select_dense_partial(self):
+        # 6 edges over 3 sources; frontier {0,1} covers 4/6 >= 0.5
+        p = CSRPlan(np.array([0, 0, 1, 1, 2, 2]), 3)
+        with configured(dense_min_edges=1, dense_sweep_fraction=0.5):
+            mode, pos, counts, total = p.select(np.array([0, 1]))
+        assert (mode, total) == ("dense", 4)
+        assert counts is None
+        assert p.key_sorted[pos].tolist() == [0, 0, 1, 1]
+
+    def test_select_gates(self):
+        p = self.plan()
+        # generic mode pins the sparse flatten
+        with configured(mode="generic", dense_min_edges=1,
+                        dense_sweep_fraction=0.0):
+            mode, *_ = p.select(np.array([0, 2]))
+        assert mode == "sparse"
+        # graphs below dense_min_edges never sweep densely
+        with configured(dense_min_edges=1000, dense_sweep_fraction=0.0):
+            mode, *_ = p.select(np.array([0, 2]))
+        assert mode == "sparse"
+
+    def test_select_empty_frontier(self):
+        p = self.plan()
+        mode, pos, counts, total = p.select(np.array([1]))
+        assert (mode, total) == ("sparse", 0)
+        assert pos.size == 0
+
+
+# ----------------------------------------------------------------------
+# scatter_reduce dispatch
+# ----------------------------------------------------------------------
+class TestScatterReduceDispatch:
+    IDX = np.array([0, 1, 1, 2, 0, 2, 1, 0])
+    VAL = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+
+    def test_empty_is_noop(self):
+        buf = np.zeros(3)
+        assert scatter_reduce(SUM_ALGEBRA, buf, self.IDX[:0], self.VAL[:0]) \
+            == "noop"
+        assert buf.tolist() == [0.0, 0.0, 0.0]
+
+    def test_small_scatters_stay_generic(self):
+        buf = np.zeros(3)
+        with configured(min_specialize=100, sum_spec="always"):
+            label = scatter_reduce(SUM_ALGEBRA, buf, self.IDX, self.VAL)
+        assert label == "ufunc_at"
+
+    def test_non_float64_stays_generic(self):
+        buf = np.zeros(3, dtype=np.float32)
+        with configured(min_specialize=1, sum_spec="always"):
+            label = scatter_reduce(SUM_ALGEBRA, buf, self.IDX,
+                                   self.VAL.astype(np.float32))
+        assert label == "ufunc_at"
+
+    def test_sum_plan_spec_needs_counts(self):
+        buf = np.zeros(3)
+        with configured(min_specialize=1):  # sum_spec="plan"
+            assert scatter_reduce(SUM_ALGEBRA, buf, self.IDX, self.VAL) \
+                == "ufunc_at"
+            counts = np.bincount(self.IDX, minlength=3)
+            assert scatter_reduce(SUM_ALGEBRA, buf, self.IDX, self.VAL,
+                                  counts=counts) == "bincount"
+
+    def test_sum_always_spec(self):
+        buf = np.zeros(3)
+        with configured(min_specialize=1, sum_spec="always"):
+            assert scatter_reduce(SUM_ALGEBRA, buf, self.IDX, self.VAL) \
+                == "bincount"
+
+    def test_minmax_spec_modes(self):
+        buf = np.full(3, np.inf)
+        with configured(min_specialize=1):  # minmax_spec="plan"
+            assert scatter_reduce(MIN_ALGEBRA, buf, self.IDX, self.VAL) \
+                == "ufunc_at"
+        with configured(min_specialize=1, minmax_spec="always"):
+            assert scatter_reduce(MIN_ALGEBRA, buf, self.IDX, self.VAL) \
+                == "sort_reduceat"
+
+    def test_generic_mode_wins_over_counts(self):
+        buf = np.zeros(3)
+        counts = np.bincount(self.IDX, minlength=3)
+        with configured(mode="generic", min_specialize=1):
+            assert scatter_reduce(SUM_ALGEBRA, buf, self.IDX, self.VAL,
+                                  counts=counts) == "ufunc_at"
+
+
+class TestApplySegmentSums:
+    def test_residual_refold_on_dirty_buffer(self):
+        # slot 0 is non-zero AND receives two contributions -> unsafe,
+        # must re-fold through add.at elementwise
+        buf = np.array([0.1, 0.0, 5.0])
+        idx = np.array([0, 0, 2])
+        vals = np.array([1e16, -1e16, 1.0])
+        base = buf.copy()
+        np.add.at(base, idx, vals)
+        sums = np.bincount(idx, weights=vals, minlength=3)
+        counts = np.bincount(idx, minlength=3)
+        apply_segment_sums(buf, sums, counts, idx, vals)
+        assert buf.view(np.int64).tolist() == base.view(np.int64).tolist()
+
+    def test_negative_zero_not_treated_as_identity(self):
+        # -0.0 + +0.0 == +0.0, while the "identity slot" shortcut would
+        # keep -0.0; the kernel must detect this and take the exact path
+        buf = np.array([-0.0])
+        idx = np.array([0, 0])
+        vals = np.array([0.0, 0.0])
+        base = buf.copy()
+        np.add.at(base, idx, vals)
+        sums = np.bincount(idx, weights=vals, minlength=1)
+        counts = np.bincount(idx, minlength=1)
+        apply_segment_sums(buf, sums, counts, idx, vals)
+        assert buf.view(np.int64).tolist() == base.view(np.int64).tolist()
+
+    def test_untouched_slots_unchanged(self):
+        buf = np.array([1.0, 2.0, 3.0])
+        idx = np.array([1, 1])
+        vals = np.array([1.0, 1.0])
+        apply_segment_sums(
+            buf, np.bincount(idx, weights=vals, minlength=3),
+            np.bincount(idx, minlength=3), idx, vals,
+        )
+        assert buf.tolist() == [1.0, 4.0, 3.0]
+
+
+class TestSegmentSum:
+    def test_empty(self):
+        out = segment_sum(np.array([], dtype=np.int64), np.array([]), 4)
+        assert out.tolist() == [0.0] * 4
+
+    def test_trims_to_n(self):
+        # idx larger than n must not leak extra slots
+        out = segment_sum(np.array([0, 5]), np.array([1.0, 2.0]), 3)
+        assert out.shape == (3,) and out.tolist() == [1.0, 0.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# MachineRuntime integration points
+# ----------------------------------------------------------------------
+def _runtime(graph, program):
+    pg = PartitionedGraph.build(
+        graph, np.zeros(graph.num_edges, dtype=np.int32), 1
+    )
+    return MachineRuntime(pg.machines[0], program)
+
+
+class TestEdgeTransformValidation:
+    def test_unknown_op_raises(self):
+        class Bad(ConnectedComponentsProgram):
+            def edge_transform(self, mg):
+                return ("multiply", None)
+
+        g = DiGraph(3, [0, 1], [1, 2])
+        with pytest.raises(AlgorithmError, match="edge_transform op"):
+            _runtime(g, Bad())
+
+    def test_wrong_operand_shape_raises(self):
+        class Bad(ConnectedComponentsProgram):
+            def edge_transform(self, mg):
+                return ("add", np.zeros(mg.esrc.size + 1))
+
+        g = DiGraph(3, [0, 1], [1, 2])
+        with pytest.raises(AlgorithmError, match="per-local-edge"):
+            _runtime(g, Bad())
+
+    def test_transform_matches_edge_message(self):
+        # the hoisted divide transform must reproduce edge_message bits
+        g = DiGraph(4, [0, 0, 1, 2], [1, 2, 3, 3])
+        rt = _runtime(g, PageRankDeltaProgram())
+        frontier = np.array([0, 1])
+        deltas = np.array([0.3, 0.7])
+        rt.scatter(frontier, deltas, track_delta=False)
+        fast = rt.msg.copy()
+        with configured(mode="generic"):
+            rt2 = _runtime(g, PageRankDeltaProgram())
+            rt2.scatter(frontier, deltas, track_delta=False)
+        assert fast.view(np.int64).tolist() == \
+            rt2.msg.view(np.int64).tolist()
+
+
+class TestTakeReadyScratch:
+    def test_consecutive_drains_reuse_scratch(self):
+        g = DiGraph(3, [0, 1], [1, 2]).symmetrized()
+        rt = _runtime(g, ConnectedComponentsProgram())
+        rt.scatter(np.array([0]), np.array([0.0]), track_delta=False)
+        idx1, acc1 = rt.take_ready()
+        first = (idx1.tolist(), acc1.tolist())
+        rt.scatter(np.array([2]), np.array([2.0]), track_delta=False)
+        idx2, acc2 = rt.take_ready()
+        # second drain is correct even though it reuses the same scratch
+        assert idx2.tolist() == [1] and acc2.tolist() == [2.0]
+        assert first == ([1], [0.0])
+        assert rt.num_active == 0
+
+    def test_buffers_reset_after_drain(self):
+        g = DiGraph(2, [0], [1])
+        rt = _runtime(g, ConnectedComponentsProgram())
+        rt.scatter(np.array([0]), np.array([0.0]), track_delta=False)
+        rt.take_ready()
+        assert rt.msg[1] == rt.algebra.identity
+        assert not rt.has_msg.any()
+
+
+class TestSweepModeStats:
+    def _graph(self):
+        # a denser graph so dense sweeps are representative
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 8, size=40)
+        dst = rng.integers(0, 8, size=40)
+        return DiGraph(8, src, dst)
+
+    def test_dense_full_sweep_recorded(self):
+        with configured(dense_min_edges=1, dense_sweep_fraction=0.0,
+                        min_specialize=1):
+            rt = _runtime(self._graph(), PageRankDeltaProgram())
+            rt.scatter(np.arange(8), np.ones(8), track_delta=False)
+        labels = list(rt.kernel_stats.calls)
+        assert any(lbl.startswith("scatter/dense-full/") for lbl in labels)
+        assert rt._last_sweep_mode == "dense-full"
+
+    def test_sparse_sweep_recorded(self):
+        with configured(dense_min_edges=10**9):
+            rt = _runtime(self._graph(), PageRankDeltaProgram())
+            rt.scatter(np.array([0]), np.array([1.0]), track_delta=False)
+        assert any(
+            lbl.startswith("scatter/sparse/") for lbl in rt.kernel_stats.calls
+        )
+
+    def test_stats_flatten_into_extra(self):
+        with configured(dense_min_edges=1, dense_sweep_fraction=0.0):
+            rt = _runtime(self._graph(), PageRankDeltaProgram())
+            rt.scatter(np.arange(8), np.ones(8), track_delta=True)
+        extra = rt.kernel_stats.as_extra()
+        assert any(k.startswith("kernel_scatter/") and k.endswith("_calls")
+                   for k in extra)
+        assert any(k.endswith("_host_s") for k in extra)
