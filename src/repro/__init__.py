@@ -42,10 +42,15 @@ from repro.obs import (
     load_trace,
     summarize_trace,
 )
+from repro.comms import Channel, Delivery, ExchangePlane, PayloadSchema
 from repro.partition import EdgeSplitConfig, PartitionedGraph, partition_graph
-from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
+from repro.powergraph import (
+    PowerGraphAsyncEngine,
+    PowerGraphGASSyncEngine,
+    PowerGraphSyncEngine,
+)
 from repro.run_api import ENGINE_NAMES, prepare_graph, run
-from repro.runtime import EngineResult
+from repro.runtime import EngineResult, EngineSpec, engine_specs, get_engine
 
 __version__ = "1.0.0"
 
@@ -70,8 +75,16 @@ __all__ = [
     "program_names",
     "PowerGraphSyncEngine",
     "PowerGraphAsyncEngine",
+    "PowerGraphGASSyncEngine",
     "LazyBlockAsyncEngine",
     "LazyVertexAsyncEngine",
+    "EngineSpec",
+    "engine_specs",
+    "get_engine",
+    "ExchangePlane",
+    "Channel",
+    "Delivery",
+    "PayloadSchema",
     "AdaptiveIntervalModel",
     "SimpleIntervalModel",
     "NeverLazyModel",

@@ -29,18 +29,16 @@ import numpy as np
 from repro.algorithms.bfs import BFSProgram
 from repro.algorithms.reference import bfs_reference
 from repro.cluster.stats import RunStats
-from repro.core.lazy_block_async import LazyBlockAsyncEngine
 from repro.core.transmission import build_lazy_graph
 from repro.errors import AlgorithmError
 from repro.graph.digraph import DiGraph
-from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.runtime.registry import get_engine
 
 __all__ = ["strongly_connected_components", "scc_reference"]
 
-_ENGINES = {
-    "lazy-block": LazyBlockAsyncEngine,
-    "powergraph-sync": PowerGraphSyncEngine,
-}
+# the driver composes many small BFS runs; only the deterministic BSP
+# engines make sense for it (classes resolve through the registry)
+_ENGINES = ("lazy-block", "powergraph-sync")
 
 
 def _reachable(
@@ -55,7 +53,7 @@ def _reachable(
     if graph.num_vertices <= local_threshold or machines == 1:
         return np.isfinite(bfs_reference(graph, source))
     pg = build_lazy_graph(graph, machines, seed=0)
-    result = _ENGINES[engine](pg, BFSProgram(source)).run()
+    result = get_engine(engine).cls(pg, BFSProgram(source)).run()
     # fold the sub-run's measured costs into the driver totals
     totals.global_syncs += result.stats.global_syncs
     totals.comm_bytes += result.stats.comm_bytes

@@ -15,20 +15,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.algorithms import make_program
 from repro.bench.configs import ExperimentConfig
 from repro.cluster.network import NetworkModel
 from repro.core.interval_model import make_interval_model
-from repro.core.lazy_block_async import LazyBlockAsyncEngine
-from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
 from repro.core.transmission import build_lazy_graph
-from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.partition.partitioned_graph import PartitionedGraph
-from repro.powergraph.engine_async import PowerGraphAsyncEngine
-from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.runtime.registry import get_engine
 from repro.runtime.result import EngineResult
 from repro.utils.timer import Timer
 
@@ -83,14 +78,6 @@ def get_partitioned(
     return _PARTITION_CACHE[key]
 
 
-_ENGINE_TABLE = {
-    "powergraph-sync": PowerGraphSyncEngine,
-    "powergraph-async": PowerGraphAsyncEngine,
-    "lazy-block": LazyBlockAsyncEngine,
-    "lazy-vertex": LazyVertexAsyncEngine,
-}
-
-
 def run_config(
     config: ExperimentConfig,
     network: Optional[NetworkModel] = None,
@@ -112,9 +99,10 @@ def run_config(
     if use_cache and key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
 
+    spec = get_engine(config.engine)
     timer = Timer()
     timer.start()
-    program = make_program(config.algorithm, **config.resolved_params())
+    program = spec.make_program(config.algorithm, **config.resolved_params())
     timer.lap("program")
     graph = get_prepared_graph(
         config.graph, program.requires_symmetric, program.needs_weights
@@ -124,16 +112,12 @@ def run_config(
         graph, config.machines, config.partitioner, config.seed, split
     )
     timer.lap("partition")
-    engine_cls = _ENGINE_TABLE.get(config.engine)
-    if engine_cls is None:
-        raise ConfigError(f"unknown engine {config.engine!r}")
     kwargs = {"network": network}
-    if config.engine == "lazy-block":
+    if "interval_model" in spec.options:
         kwargs["interval_model"] = make_interval_model(config.interval)
+    if "coherency_mode" in spec.options:
         kwargs["coherency_mode"] = config.coherency_mode
-    elif config.engine == "lazy-vertex":
-        kwargs["coherency_mode"] = config.coherency_mode
-    result = engine_cls(pgraph, program, **kwargs).run()
+    result = spec.cls(pgraph, program, **kwargs).run()
     timer.lap("engine")
     timer.stop()
     # host-side cost split (distinct from the modeled cluster time)

@@ -1,0 +1,42 @@
+"""repro.comms — the unified exchange plane beneath all engines.
+
+Typed, named channels over :class:`~repro.cluster.simulator.ClusterSim`:
+each channel owns its payload schema, its delivery policy, and its
+accounting, so every byte/message/round/sync is charged in exactly one
+place. See ``docs/architecture.md`` ("Exchange plane") for the channel
+table.
+"""
+
+from repro.comms.channels import (
+    BROADCAST,
+    CONTROL,
+    DELTA_A2A,
+    DELTA_M2M,
+    GATHER,
+    ONE_EDGE,
+    Channel,
+    Delivery,
+)
+from repro.comms.plane import ExchangePlane
+from repro.comms.schema import (
+    CONTROL_SCHEMA,
+    PayloadSchema,
+    delta_schema,
+    value_schema,
+)
+
+__all__ = [
+    "Channel",
+    "Delivery",
+    "ExchangePlane",
+    "PayloadSchema",
+    "CONTROL_SCHEMA",
+    "delta_schema",
+    "value_schema",
+    "GATHER",
+    "BROADCAST",
+    "DELTA_A2A",
+    "DELTA_M2M",
+    "ONE_EDGE",
+    "CONTROL",
+]

@@ -1,0 +1,68 @@
+"""Payload schemas: what one record on a channel is, and what it weighs.
+
+Every exchange channel carries records of exactly one shape — a delta
+accumulator, an updated vertex value, a termination-probe report — and
+every byte the simulator charges for that channel is ``records ×
+bytes_per_record``. Making the schema an explicit object (instead of a
+bare ``program.delta_bytes`` multiplied inline at five call sites) is
+what lets the channel table in ``docs/architecture.md`` be checked
+against the code, and what a future real wire format would serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EngineError
+
+__all__ = ["PayloadSchema", "CONTROL_SCHEMA", "delta_schema", "value_schema"]
+
+
+@dataclass(frozen=True)
+class PayloadSchema:
+    """Shape of one record travelling on a channel.
+
+    Attributes
+    ----------
+    record:
+        Human-readable name of one record (``"delta-accumulator"``,
+        ``"vertex-value"``, ``"probe-report"``).
+    dtype:
+        Wire dtype of the record's payload field(s).
+    bytes_per_record:
+        Modeled wire size of one record, including the vertex-id key —
+        the paper's per-message cost unit (``delta_bytes`` /
+        ``value_bytes`` on the programs).
+    """
+
+    record: str
+    dtype: str
+    bytes_per_record: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_record <= 0:
+            raise EngineError(
+                f"schema {self.record!r}: bytes_per_record must be positive, "
+                f"got {self.bytes_per_record}"
+            )
+
+    def bytes_for(self, records: int) -> float:
+        """Wire bytes of ``records`` records."""
+        return float(records) * self.bytes_per_record
+
+
+#: Control-plane records (termination probes, barrier tokens): sized in
+#: raw bytes by the caller, so one record weighs one byte.
+CONTROL_SCHEMA = PayloadSchema("control", "bytes", 1.0)
+
+
+def delta_schema(program) -> PayloadSchema:
+    """Schema of one delta/accumulator record of a :class:`DeltaProgram`."""
+    return PayloadSchema(
+        "delta-accumulator", "float64", float(program.delta_bytes)
+    )
+
+
+def value_schema(program) -> PayloadSchema:
+    """Schema of one full vertex-value record of a classic GAS program."""
+    return PayloadSchema("vertex-value", "float64", float(program.value_bytes))

@@ -34,6 +34,13 @@ import numpy as np
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import CommMode, NetworkModel
+from repro.comms import (
+    DELTA_A2A,
+    DELTA_M2M,
+    Delivery,
+    ExchangePlane,
+    delta_schema,
+)
 from repro.errors import EngineError
 from repro.kernels.segment_reduce import scatter_reduce
 from repro.obs.tracer import NULL_TRACER
@@ -72,6 +79,8 @@ class CoherencyExchanger:
         mode: str = "dynamic",
         network: Optional[NetworkModel] = None,
         tracer=None,
+        plane: Optional[ExchangePlane] = None,
+        delivery: Delivery = Delivery.BSP,
     ) -> None:
         if mode not in ("dynamic", "a2a", "m2m"):
             raise EngineError(f"unknown coherency mode {mode!r}")
@@ -86,6 +95,18 @@ class CoherencyExchanger:
         self.mode = mode
         self.network = network or NetworkModel()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # channel plan: both wire protocols get their own typed channel;
+        # deliver() picks per exchange, matching the dynamic switching.
+        # Without a plane the exchanger only stages (unit-test mode).
+        self.a2a_ch = self.m2m_ch = None
+        if plane is not None:
+            schema = delta_schema(program)
+            self.a2a_ch = plane.open(
+                DELTA_A2A, schema, delivery, comm_mode=CommMode.ALL_TO_ALL
+            )
+            self.m2m_ch = plane.open(
+                DELTA_M2M, schema, delivery, comm_mode=CommMode.MIRRORS_TO_MASTER
+            )
         n = pgraph.graph.num_vertices
         self._total = np.empty(n, dtype=np.float64)
         self._cnt = np.zeros(n, dtype=np.int64)
@@ -107,6 +128,30 @@ class CoherencyExchanger:
     def mode_switches(self) -> int:
         """How many times the dynamic policy changed wire protocol."""
         return self._switches
+
+    def _channel_for(self, report: "ExchangeReport"):
+        return self.a2a_ch if report.mode is CommMode.ALL_TO_ALL else self.m2m_ch
+
+    def deliver(self, report: "ExchangeReport") -> float:
+        """Move one exchange's traffic over its wire-protocol channel.
+
+        BSP channels run the coherency point's single round + barrier
+        (even an empty exchange pays the barrier — LazyBlockAsync's one
+        global synchronization per superstep) and return ``0.0``; async
+        channels skip empty exchanges entirely and return the modeled
+        transfer latency for the engine to pipeline behind local work.
+        """
+        ch = self._channel_for(report)
+        if ch.delivery is Delivery.BSP:
+            ch.transfer(report.volume_bytes, report.messages)
+            if not report.empty:
+                ch.round(report.volume_bytes)
+            ch.barrier()  # the single global synchronization
+            return 0.0
+        if report.empty:
+            return 0.0
+        ch.transfer(report.volume_bytes, report.messages)
+        return ch.round(report.volume_bytes)
 
     # ------------------------------------------------------------------
     def exchange(

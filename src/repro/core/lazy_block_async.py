@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
+from repro.comms import Delivery
 from repro.core.coherency import CoherencyExchanger
 from repro.core.interval_model import (
     AdaptiveIntervalModel,
@@ -69,7 +70,7 @@ class LazyBlockAsyncEngine(BaseEngine):
         self.interval_model = interval_model or AdaptiveIntervalModel()
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
-            tracer=self.tracer,
+            tracer=self.tracer, plane=self.comms, delivery=Delivery.BSP,
         )
 
     # ------------------------------------------------------------------
@@ -137,10 +138,7 @@ class LazyBlockAsyncEngine(BaseEngine):
                 # ---- Stage 2: data coherency --------------------------
                 with tracer.span("coherency", category="phase") as sp:
                     report = self.exchanger.exchange()
-                    sim.bulk_transfer(report.volume_bytes, report.messages)
-                    if not report.empty:
-                        sim.coherency_exchange(report.mode, report.volume_bytes)
-                    sim.barrier()  # the single global synchronization
+                    self.exchanger.deliver(report)  # one round + one barrier
                     sim.stats.coherency_points += 1
                     sp.set(mode=report.mode.value,
                            volume_bytes=report.volume_bytes,

@@ -27,6 +27,7 @@ import numpy as np
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.cluster.termination import TerminationDetector
+from repro.comms import Delivery
 from repro.core.coherency import CoherencyExchanger
 from repro.errors import EngineError
 from repro.partition.partitioned_graph import PartitionedGraph
@@ -66,7 +67,8 @@ class LazyVertexAsyncEngine(BaseEngine):
         self.max_delta_age = max_delta_age
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
-            tracer=self.tracer,
+            tracer=self.tracer, plane=self.comms,
+            delivery=Delivery.ASYNC_PIPELINED,
         )
         self._age: List[np.ndarray] = [
             np.zeros(mg.num_local_vertices, dtype=np.int64)
@@ -76,8 +78,7 @@ class LazyVertexAsyncEngine(BaseEngine):
     # ------------------------------------------------------------------
     def _execute(self) -> bool:
         sim = self.sim
-        net = sim.network
-        detector = TerminationDetector(sim)
+        detector = TerminationDetector(sim, channel=self.comms.control)
         idle_flags = [True] * sim.num_machines
         sent_total = 0
         self._bootstrap(track_delta=True)
@@ -120,13 +121,8 @@ class LazyVertexAsyncEngine(BaseEngine):
                         report = self.exchanger.exchange()
                     else:
                         report = self.exchanger.exchange(participants=ready)
-                    comm_seconds = 0.0
+                    comm_seconds = self.exchanger.deliver(report)
                     if not report.empty:
-                        sim.bulk_transfer(report.volume_bytes, report.messages)
-                        comm_seconds = net.async_exchange_time(
-                            report.mode, report.volume_bytes, sim.num_machines
-                        )
-                        sim.stats.comm_rounds += 1
                         sim.stats.coherency_points += 1
                         sent_total += report.messages
                         for rt, age in zip(self.runtimes, self._age):

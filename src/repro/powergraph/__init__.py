@@ -19,10 +19,12 @@ from repro.powergraph.engine_async import PowerGraphAsyncEngine
 from repro.powergraph.engine_gas import PowerGraphGASSyncEngine
 from repro.powergraph.eager_exchange import EagerExchange
 from repro.powergraph.gas import (
+    GAS_ALGORITHM_NAMES,
     GASConnectedComponents,
     GASPageRank,
     GASProgram,
     GASSSSP,
+    make_gas_program,
 )
 
 __all__ = [
@@ -34,4 +36,6 @@ __all__ = [
     "GASPageRank",
     "GASConnectedComponents",
     "GASSSSP",
+    "GAS_ALGORITHM_NAMES",
+    "make_gas_program",
 ]

@@ -21,11 +21,19 @@ charged, so the data movement lives here once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.api.vertex_program import DeltaProgram
+from repro.comms import (
+    BROADCAST,
+    GATHER,
+    ONE_EDGE,
+    Delivery,
+    ExchangePlane,
+    delta_schema,
+)
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
 
@@ -53,17 +61,39 @@ class EagerLegTraffic:
 
 
 class EagerExchange:
-    """Stages accums globally and replays Apply coherently on all replicas."""
+    """Stages accums globally and replays Apply coherently on all replicas.
+
+    When given an exchange ``plane``, it also owns the *channel plan* of
+    the eager protocol: a batched engine moves each leg over the BSP
+    ``gather`` / ``broadcast`` channels (:meth:`ship_gather` /
+    :meth:`ship_broadcast`), while a ``fine_grained`` engine moves both
+    legs' records one edge at a time over the ``one_edge`` channel
+    (:meth:`ship_fine_grained` + :meth:`charge_fine_grained_round`).
+    Without a plane it only stages traffic — the mode used by unit tests
+    and the staging benchmarks.
+    """
 
     def __init__(
         self,
         pgraph: PartitionedGraph,
         program: DeltaProgram,
         runtimes: List[MachineRuntime],
+        plane: Optional[ExchangePlane] = None,
+        fine_grained: bool = False,
     ) -> None:
         self.pgraph = pgraph
         self.program = program
         self.runtimes = runtimes
+        self.gather_ch = self.bcast_ch = self.one_edge_ch = None
+        if plane is not None:
+            schema = delta_schema(program)
+            if fine_grained:
+                self.one_edge_ch = plane.open(
+                    ONE_EDGE, schema, Delivery.ASYNC_FINE_GRAINED
+                )
+            else:
+                self.gather_ch = plane.open(GATHER, schema, Delivery.BSP)
+                self.bcast_ch = plane.open(BROADCAST, schema, Delivery.BSP)
         self._total = np.empty(pgraph.graph.num_vertices, dtype=np.float64)
         self._has = np.empty(pgraph.graph.num_vertices, dtype=bool)
 
@@ -106,6 +136,23 @@ class EagerExchange:
     def anything_pending(self) -> bool:
         """Did :meth:`collect` stage any accumulator?"""
         return bool(self._has.any())
+
+    # ---- channel plans -----------------------------------------------
+    def ship_gather(self, traffic: EagerLegTraffic) -> None:
+        """Move the mirror→master leg: one batched BSP round + barrier."""
+        self.gather_ch.bsp_leg(traffic.gather_bytes, traffic.gather_msgs)
+
+    def ship_broadcast(self, traffic: EagerLegTraffic) -> None:
+        """Move the master→mirror leg: one batched BSP round + barrier."""
+        self.bcast_ch.bsp_leg(traffic.bcast_bytes, traffic.bcast_msgs)
+
+    def ship_fine_grained(self, traffic: EagerLegTraffic) -> None:
+        """Count both legs' records as fine-grained one-edge messages."""
+        self.one_edge_ch.transfer(traffic.total_bytes, traffic.total_msgs)
+
+    def charge_fine_grained_round(self, traffic: EagerLegTraffic) -> None:
+        """Price one unbatched round (volume × penalty + engine overhead)."""
+        self.one_edge_ch.round(traffic.total_bytes)
 
     def apply_all(self, track_delta: bool = False) -> List[tuple]:
         """Replay Apply+Scatter of the staged accums on every replica.

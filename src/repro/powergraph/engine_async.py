@@ -41,9 +41,11 @@ class PowerGraphAsyncEngine(BaseEngine):
 
     def _execute(self) -> bool:
         sim = self.sim
-        net = sim.network
-        exchange = EagerExchange(self.pgraph, self.program, self.runtimes)
-        detector = TerminationDetector(sim)
+        exchange = EagerExchange(
+            self.pgraph, self.program, self.runtimes,
+            plane=self.comms, fine_grained=True,
+        )
+        detector = TerminationDetector(sim, channel=self.comms.control)
         idle_flags = [True] * sim.num_machines
         sent_total = 0
         self._bootstrap(track_delta=False)
@@ -52,7 +54,7 @@ class PowerGraphAsyncEngine(BaseEngine):
         for step in range(self.max_supersteps):
             with tracer.span("superstep", category="superstep", superstep=step):
                 traffic = exchange.collect()
-                sim.bulk_transfer(traffic.total_bytes, traffic.total_msgs)
+                exchange.ship_fine_grained(traffic)
                 if not exchange.anything_pending:
                     # quiescent: the engine only *learns* this through the
                     # termination-detection protocol (two clean probes)
@@ -76,12 +78,7 @@ class PowerGraphAsyncEngine(BaseEngine):
                             ).end()
                         sim.add_compute(machine_id, edges, applies)
                     # fine-grained comm: unbatched volume + engine overhead
-                    sim.stats.add_comm(
-                        net.a2a_time(traffic.total_bytes, sim.num_machines)
-                        * net.async_unbatched_penalty
-                        + net.async_round_overhead_s
-                    )
-                    sim.stats.comm_rounds += 1
+                    exchange.charge_fine_grained_round(traffic)
                     sim.settle_async(traffic.sent_per_machine)
                     sp.set(msgs=traffic.total_msgs, bytes=traffic.total_bytes)
                 sim.stats.supersteps += 1

@@ -13,18 +13,15 @@ in ``benchmarks/bench_gas_baseline.py``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 
-from repro.cluster.network import NetworkModel
-from repro.cluster.simulator import ClusterSim
-from repro.errors import ConvergenceError, EngineError
+from repro.comms import BROADCAST, GATHER, Delivery, value_schema
 from repro.kernels import CSRPlan, scatter_reduce
-from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition.partitioned_graph import MachineGraph, PartitionedGraph
+from repro.partition.partitioned_graph import MachineGraph
 from repro.powergraph.gas import GASProgram
-from repro.runtime.result import EngineResult
+from repro.runtime.base_engine import BaseEngine
 
 __all__ = ["PowerGraphGASSyncEngine"]
 
@@ -41,11 +38,16 @@ class _GASMachine:
 
     def __init__(self, mg: MachineGraph, program: GASProgram) -> None:
         self.mg = mg
+        self.program = program
         self.state = program.make_state(mg)
         n = mg.num_local_vertices
         self.in_plan = CSRPlan(mg.edst, n)
         self.out_plan = CSRPlan(mg.esrc, n)
         self._acc_scratch = np.empty(n, dtype=np.float64)
+
+    def values(self) -> np.ndarray:
+        """Local per-replica values (the generic result-collection view)."""
+        return self.program.values(self.mg, self.state)
 
     def _edges_of(self, plan: CSRPlan, idx: np.ndarray) -> np.ndarray:
         mode, pos, _counts, total = plan.select(idx)
@@ -100,74 +102,60 @@ class _GASMachine:
         return self.mg.vertices[self.mg.edst[e_sel]]
 
 
-class PowerGraphGASSyncEngine:
-    """Eager BSP engine for classic pull-style GAS programs."""
+class PowerGraphGASSyncEngine(BaseEngine):
+    """Eager BSP engine for classic pull-style GAS programs.
+
+    Shares the full :class:`BaseEngine` lifecycle (validation, simulator
+    and tracer setup, exchange plane, result assembly) with the delta
+    engines; only the runtime state (:class:`_GASMachine`) and the
+    superstep loop are GAS-specific. Full vertex values travel on the
+    ``gather`` / ``broadcast`` BSP channels, sized by the program's
+    ``value_bytes`` (the delta engines ship ``delta_bytes`` records on
+    the same-named channels — that size gap is the paper's Fig 9).
+    """
 
     name = "powergraph-gas-sync"
 
-    def __init__(
-        self,
-        pgraph: PartitionedGraph,
-        program: GASProgram,
-        network: Optional[NetworkModel] = None,
-        max_supersteps: int = 100_000,
-        trace: bool = False,
-        tracer: Optional[Tracer] = None,
-    ) -> None:
-        program.validate()
-        if program.needs_weights and pgraph.graph.weights is None:
-            raise EngineError(
-                f"program {program.name!r} needs edge weights but the graph "
-                f"is unweighted"
-            )
-        self.pgraph = pgraph
-        self.program = program
-        self.max_supersteps = max_supersteps
-        self.trace = trace
-        self.sim = ClusterSim(pgraph.num_machines, network=network)
-        if tracer is not None:
-            self.tracer = tracer
-        elif trace:
-            self.tracer = Tracer()
-        else:
-            self.tracer = NULL_TRACER
-        if self.tracer.enabled:
-            self.tracer.bind_stats(self.sim.stats)
-        self.machines: List[_GASMachine] = [
-            _GASMachine(mg, program) for mg in pgraph.machines
-        ]
+    def _make_runtimes(self) -> List[_GASMachine]:
+        return [_GASMachine(mg, self.program) for mg in self.pgraph.machines]
+
+    @property
+    def machines(self) -> List[_GASMachine]:
+        """Alias kept for the GAS benchmarks' direct machine access."""
+        return self.runtimes
 
     # ------------------------------------------------------------------
-    def run(self) -> EngineResult:
+    def _execute(self) -> bool:
         sim = self.sim
         prog = self.program
         alg = prog.algebra
         n = self.pgraph.graph.num_vertices
+        schema = value_schema(prog)
+        gather_ch = self.comms.open(GATHER, schema, Delivery.BSP)
+        bcast_ch = self.comms.open(BROADCAST, schema, Delivery.BSP)
 
         # pull semantics: an "active" vertex re-gathers its in-edges, so
         # the initial frontier must also cover the out-neighbours of the
         # initially-active vertices (they are who can see the seed data)
         active = np.zeros(n, dtype=bool)
-        for gm in self.machines:
+        for gm in self.runtimes:
             seed = prog.initially_active(gm.mg)
             active[gm.mg.vertices[seed]] = True
             active[gm.out_targets(np.flatnonzero(seed))] = True
 
         total = np.empty(n, dtype=np.float64)
         has = np.empty(n, dtype=bool)
-        converged = False
         tracer = self.tracer
         for step in range(self.max_supersteps):
             if not active.any():
-                converged = True
-                break
+                return True
             with tracer.span("superstep", category="superstep", superstep=step):
                 # ---- gather: pull on every replica, combine at master ---
                 with tracer.span("gather", category="phase") as sp:
                     total.fill(alg.identity)
                     has.fill(False)
                     gather_msgs = 0
-                    for gm in self.machines:
+                    for gm in self.runtimes:
                         local_active = active[gm.mg.vertices]
                         with tracer.span(
                             "gather-machine", category="machine",
@@ -183,11 +171,9 @@ class PowerGraphGASSyncEngine:
                             gather_msgs += int(
                                 np.count_nonzero(~gm.mg.is_master[idx])
                             )
-                    vol1 = gather_msgs * prog.value_bytes
+                    vol1 = schema.bytes_for(gather_msgs)
                     sp.set(gather_msgs=gather_msgs, gather_bytes=vol1)
-                    sim.bulk_transfer(vol1, gather_msgs)
-                    sim.exchange_round(vol1)
-                    sim.barrier()  # sync #1
+                    gather_ch.bsp_leg(vol1, gather_msgs)  # sync #1
 
                 # active vertices with no in-edges anywhere still "apply"
                 # the identity accumulator (e.g. the PR base-rank refresh)
@@ -198,7 +184,7 @@ class PowerGraphGASSyncEngine:
                     applied = np.flatnonzero(has)
                     bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
                     next_active = np.zeros(n, dtype=bool)
-                    for gm in self.machines:
+                    for gm in self.runtimes:
                         sel = has[gm.mg.vertices]
                         idx = np.flatnonzero(sel)
                         if idx.size == 0:
@@ -215,53 +201,17 @@ class PowerGraphGASSyncEngine:
                         fired = idx[changed]
                         if fired.size:
                             next_active[gm.out_targets(fired)] = True
-                    vol2 = bcast * prog.value_bytes
+                    vol2 = schema.bytes_for(bcast)
                     sp.set(bcast_msgs=bcast, bcast_bytes=vol2)
-                    sim.bulk_transfer(vol2, bcast)
-                    sim.exchange_round(vol2)
-                    sim.barrier()  # sync #2
+                    bcast_ch.bsp_leg(vol2, bcast)  # sync #2
 
                 # ---- scatter/activation already folded in ---------------
                 with tracer.span("scatter", category="phase"):
-                    sim.barrier()  # sync #3
+                    self.comms.control.barrier()  # sync #3
                 sim.stats.supersteps += 1
                 active = next_active
                 if self.trace:
                     sim.stats.snapshot(
                         active=int(active.sum()), gather_msgs=gather_msgs,
                     )
-
-        sim.stats.converged = converged
-        if not converged:
-            raise ConvergenceError(
-                f"{self.name}/{prog.name} did not converge within "
-                f"{self.max_supersteps} supersteps"
-            )
-        values = np.empty(n, dtype=np.float64)
-        lo = np.full(n, np.inf)
-        hi = np.full(n, -np.inf)
-        for gm in self.machines:
-            vals = prog.values(gm.mg, gm.state)
-            masters = gm.mg.is_master
-            values[gm.mg.vertices[masters]] = vals[masters]
-            np.minimum.at(lo, gm.mg.vertices, vals)
-            np.maximum.at(hi, gm.mg.vertices, vals)
-        with np.errstate(invalid="ignore"):
-            diff = hi - lo
-        finite = np.isfinite(diff)
-        disagreement = float(diff[finite].max()) if finite.any() else 0.0
-        if tracer.enabled:
-            tracer.finish(
-                engine=self.name,
-                algorithm=prog.name,
-                machines=self.pgraph.num_machines,
-                stats=sim.stats.to_dict(),
-            )
-        return EngineResult(
-            values=values,
-            stats=sim.stats,
-            engine=self.name,
-            algorithm=prog.name,
-            replica_max_disagreement=disagreement,
-            trace=tracer if tracer.enabled else None,
-        )
+        return False

@@ -24,7 +24,9 @@ class PowerGraphSyncEngine(BaseEngine):
     def _execute(self) -> bool:
         sim = self.sim
         tracer = self.tracer
-        exchange = EagerExchange(self.pgraph, self.program, self.runtimes)
+        exchange = EagerExchange(
+            self.pgraph, self.program, self.runtimes, plane=self.comms
+        )
         self._bootstrap(track_delta=False)
 
         for step in range(self.max_supersteps):
@@ -34,9 +36,7 @@ class PowerGraphSyncEngine(BaseEngine):
                     traffic = exchange.collect()
                     sp.set(gather_msgs=traffic.gather_msgs,
                            gather_bytes=traffic.gather_bytes)
-                    sim.bulk_transfer(traffic.gather_bytes, traffic.gather_msgs)
-                    sim.exchange_round(traffic.gather_bytes)
-                    sim.barrier()  # sync #1 (gather complete)
+                    exchange.ship_gather(traffic)  # sync #1 (gather complete)
                 if not exchange.anything_pending:
                     return True
 
@@ -52,13 +52,11 @@ class PowerGraphSyncEngine(BaseEngine):
                         sim.add_compute(machine_id, edges, applies)
                     sp.set(bcast_msgs=traffic.bcast_msgs,
                            bcast_bytes=traffic.bcast_bytes)
-                    sim.bulk_transfer(traffic.bcast_bytes, traffic.bcast_msgs)
-                    sim.exchange_round(traffic.bcast_bytes)
-                    sim.barrier()  # sync #2 (apply/replication complete)
+                    exchange.ship_broadcast(traffic)  # sync #2 (replication)
 
                 # ---- scatter already ran fused with apply -------------
                 with tracer.span("scatter", category="phase"):
-                    sim.barrier()  # sync #3 (scatter complete)
+                    self.comms.control.barrier()  # sync #3 (scatter complete)
                 sim.stats.supersteps += 1
                 if self.trace:
                     sim.stats.snapshot(

@@ -32,6 +32,8 @@ __all__ = [
     "GASPageRank",
     "GASConnectedComponents",
     "GASSSSP",
+    "GAS_ALGORITHM_NAMES",
+    "make_gas_program",
 ]
 
 
@@ -172,3 +174,30 @@ class GASSSSP(GASProgram):
         improved = accum < state["vdata"][idx]
         state["vdata"][idx] = np.minimum(state["vdata"][idx], accum)
         return improved
+
+
+# ---------------------------------------------------------------------
+# Named construction (mirrors repro.algorithms.make_program for the
+# delta programs) so the engine registry can build GAS programs from the
+# same ``algorithm`` / ``algorithm_params`` surface as repro.run(...).
+_GAS_PROGRAMS: Dict[str, type] = {
+    "pagerank": GASPageRank,
+    "cc": GASConnectedComponents,
+    "sssp": GASSSSP,
+}
+
+#: Algorithms with a classic full-gather formulation (bfs/kcore/ppr have
+#: delta formulations only).
+GAS_ALGORITHM_NAMES: Tuple[str, ...] = tuple(sorted(_GAS_PROGRAMS))
+
+
+def make_gas_program(name: str, **params) -> GASProgram:
+    """Build a classic GAS program by algorithm name."""
+    try:
+        cls = _GAS_PROGRAMS[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"no classic GAS formulation of {name!r}; "
+            f"known: {', '.join(GAS_ALGORITHM_NAMES)}"
+        ) from None
+    return cls(**params)

@@ -11,12 +11,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.algorithms import make_program
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.core.interval_model import IntervalModel, make_interval_model
-from repro.core.lazy_block_async import LazyBlockAsyncEngine
-from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
 from repro.core.transmission import build_lazy_graph
 from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
@@ -25,26 +22,19 @@ from repro.graph.generators import attach_uniform_weights
 from repro.obs.sinks import TRACE_FORMATS, export_trace
 from repro.obs.tracer import Tracer
 from repro.partition.edge_splitter import EdgeSplitConfig
-from repro.powergraph.engine_async import PowerGraphAsyncEngine
-from repro.powergraph.engine_sync import PowerGraphSyncEngine
+from repro.powergraph.gas import GASProgram
+from repro.runtime.registry import engine_names, get_engine
 from repro.runtime.result import EngineResult
 from repro.utils.rng import derive_seed
 
 __all__ = ["run", "prepare_graph", "ENGINE_NAMES"]
 
-_ENGINES = {
-    "powergraph-sync": PowerGraphSyncEngine,
-    "powergraph-async": PowerGraphAsyncEngine,
-    "lazy-block": LazyBlockAsyncEngine,
-    "lazy-vertex": LazyVertexAsyncEngine,
-}
-
-ENGINE_NAMES = tuple(sorted(_ENGINES))
+ENGINE_NAMES = engine_names()
 
 
 def prepare_graph(
     graph: Union[str, DiGraph],
-    program: DeltaProgram,
+    program: Union[DeltaProgram, GASProgram],
     seed: int = 0,
 ) -> DiGraph:
     """Resolve and adapt a graph to a program's declared requirements.
@@ -95,11 +85,14 @@ def run(
         :class:`~repro.graph.digraph.DiGraph`.
     algorithm:
         A program name (``pagerank``/``sssp``/``cc``/``kcore``/``bfs``)
-        or a :class:`~repro.api.vertex_program.DeltaProgram` instance.
-        Extra keyword arguments go to the program constructor
-        (e.g. ``k=10``, ``tolerance=1e-4``, ``source=7``).
+        or a program instance. Names build the engine's program flavour
+        (delta programs for the delta engines, classic GAS programs for
+        ``powergraph-gas-sync``); extra keyword arguments go to the
+        program constructor (e.g. ``k=10``, ``tolerance=1e-4``,
+        ``source=7``).
     engine:
-        One of :data:`ENGINE_NAMES`.
+        One of :data:`ENGINE_NAMES` (the engine registry,
+        :mod:`repro.runtime.registry`).
     interval:
         Interval-model name or instance (lazy-block only; default the
         paper's adaptive rule).
@@ -120,20 +113,21 @@ def run(
             f"unknown trace format {trace_format!r}; known: "
             f"{', '.join(TRACE_FORMATS)}"
         )
-    if isinstance(algorithm, DeltaProgram):
+    spec = get_engine(engine)
+    if isinstance(algorithm, (DeltaProgram, GASProgram)):
         if algorithm_params:
             raise ConfigError(
                 "algorithm_params only apply when algorithm is given by name"
             )
+        wanted = GASProgram if spec.program_api == "gas" else DeltaProgram
+        if not isinstance(algorithm, wanted):
+            raise ConfigError(
+                f"engine {engine!r} takes a {wanted.__name__}, got "
+                f"{type(algorithm).__name__} {algorithm.name!r}"
+            )
         program = algorithm
     else:
-        program = make_program(algorithm, **algorithm_params)
-    try:
-        engine_cls = _ENGINES[engine]
-    except KeyError:
-        raise ConfigError(
-            f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
-        ) from None
+        program = spec.make_program(algorithm, **algorithm_params)
 
     g = prepare_graph(graph, program, seed=seed)
     pgraph = build_lazy_graph(
@@ -145,16 +139,15 @@ def run(
     kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
     if tracer is not None:
         kwargs["tracer"] = tracer
-    if engine == "lazy-block":
+    if "interval_model" in spec.options:
         if interval is not None and not isinstance(interval, IntervalModel):
             interval = make_interval_model(interval)
         kwargs["interval_model"] = interval
-        kwargs["coherency_mode"] = coherency_mode
-    elif engine == "lazy-vertex":
-        kwargs["coherency_mode"] = coherency_mode
     elif interval is not None:
         raise ConfigError(f"engine {engine!r} does not take an interval model")
-    result = engine_cls(pgraph, program, **kwargs).run()
+    if "coherency_mode" in spec.options:
+        kwargs["coherency_mode"] = coherency_mode
+    result = spec.cls(pgraph, program, **kwargs).run()
     if trace_out is not None and result.trace is not None:
         export_trace(result.trace, trace_out, trace_format)
     return result

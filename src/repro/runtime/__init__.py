@@ -12,5 +12,21 @@ paper's §3.5 correctness theorem.
 from repro.runtime.machine_runtime import MachineRuntime
 from repro.runtime.result import EngineResult
 from repro.runtime.base_engine import BaseEngine
+from repro.runtime.registry import (
+    EngineSpec,
+    engine_names,
+    engine_specs,
+    get_engine,
+    register,
+)
 
-__all__ = ["MachineRuntime", "EngineResult", "BaseEngine"]
+__all__ = [
+    "MachineRuntime",
+    "EngineResult",
+    "BaseEngine",
+    "EngineSpec",
+    "engine_names",
+    "engine_specs",
+    "get_engine",
+    "register",
+]

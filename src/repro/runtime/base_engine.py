@@ -1,15 +1,15 @@
-"""Common engine scaffolding shared by the eager and lazy families."""
+"""Common engine scaffolding shared by the eager, lazy, and GAS engines."""
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
+from repro.comms import ExchangePlane
 from repro.errors import ConvergenceError, EngineError
 from repro.kernels import KernelStats
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -23,12 +23,17 @@ _DEFAULT_MAX_SUPERSTEPS = 100_000
 
 
 class BaseEngine(abc.ABC):
-    """Shared setup/teardown for engines running on the cluster simulator.
+    """Shared lifecycle for every engine running on the cluster simulator.
 
-    Subclasses implement :meth:`_execute`, driving their machines through
-    ``self.sim`` (for all accounting) and ``self.runtimes`` (per-machine
-    buffers/kernels). ``run()`` wraps execution with bootstrap, result
-    assembly and the replica-agreement measurement.
+    The constructor owns validation (program invariants, weighted-graph
+    requirements, ``max_supersteps``), simulator + tracer setup, the
+    engine's :class:`~repro.comms.ExchangePlane`, and per-machine runtime
+    construction (the :meth:`_make_runtimes` hook — delta engines get
+    :class:`MachineRuntime`, the classic GAS engine its own machine
+    state). Subclasses implement :meth:`_execute`, moving every byte
+    through channels opened on ``self.comms``. ``run()`` wraps execution
+    with stat/extra assembly, per-channel counter publication, result
+    collection and the replica-agreement measurement.
     """
 
     name = "abstract-engine"
@@ -36,7 +41,7 @@ class BaseEngine(abc.ABC):
     def __init__(
         self,
         pgraph: PartitionedGraph,
-        program: DeltaProgram,
+        program,
         network: Optional[NetworkModel] = None,
         max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS,
         trace: bool = False,
@@ -65,9 +70,14 @@ class BaseEngine(abc.ABC):
             self.tracer = NULL_TRACER
         if self.tracer.enabled:
             self.tracer.bind_stats(self.sim.stats)
-        self.runtimes: List[MachineRuntime] = [
-            MachineRuntime(mg, program, tracer=self.tracer)
-            for mg in pgraph.machines
+        self.comms = ExchangePlane(self.sim, tracer=self.tracer)
+        self.runtimes: List = list(self._make_runtimes())
+
+    def _make_runtimes(self) -> Sequence:
+        """Build per-machine runtime state (override for non-delta engines)."""
+        return [
+            MachineRuntime(mg, self.program, tracer=self.tracer)
+            for mg in self.pgraph.machines
         ]
 
     # ------------------------------------------------------------------
@@ -97,6 +107,12 @@ class BaseEngine(abc.ABC):
         """Total pending-apply vertices across machines (replica-counted)."""
         return sum(rt.num_active for rt in self.runtimes)
 
+    def _kernel_stats(self) -> KernelStats:
+        """Merged per-kernel host timings across the machine runtimes."""
+        return KernelStats.merged(
+            rt.kernel_stats for rt in self.runtimes if hasattr(rt, "kernel_stats")
+        )
+
     # ------------------------------------------------------------------
     def run(self) -> EngineResult:
         """Execute to convergence (or ``max_supersteps``) and collect results."""
@@ -104,9 +120,10 @@ class BaseEngine(abc.ABC):
         self.sim.stats.converged = converged
         # surface per-kernel host timings + sweep-mode counts (they ride
         # into traces through RunStats.to_dict)
-        ks = KernelStats.merged(rt.kernel_stats for rt in self.runtimes)
-        for key, val in ks.as_extra().items():
+        for key, val in self._kernel_stats().as_extra().items():
             self.sim.stats.extra[key] = val
+        # per-channel ledgers ride along the same way (comms.<name>.*)
+        self.comms.publish(self.sim.stats)
         if not converged:
             raise ConvergenceError(
                 f"{self.name}/{self.program.name} did not converge within "

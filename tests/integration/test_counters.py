@@ -19,6 +19,7 @@ from repro.algorithms import (
 )
 from repro.core import LazyBlockAsyncEngine, LazyVertexAsyncEngine, build_lazy_graph
 from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
+from repro.runtime.registry import engine_specs
 
 
 @pytest.fixture(scope="module")
@@ -124,18 +125,18 @@ class TestTrafficConsistency:
 
 class TestTraceParity:
     """The trace is a faithful second ledger of the same run (ISSUE
-    acceptance: summed phase durations == RunStats.modeled_time_s)."""
+    acceptance: summed phase durations == RunStats.modeled_time_s).
 
-    ENGINES = {
-        "powergraph-sync": PowerGraphSyncEngine,
-        "powergraph-async": PowerGraphAsyncEngine,
-        "lazy-block": LazyBlockAsyncEngine,
-        "lazy-vertex": LazyVertexAsyncEngine,
-    }
+    Iterates the engine registry, so any newly-registered engine is
+    automatically held to the phase-tiling invariant.
+    """
 
-    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize(
+        "engine", [s.name for s in engine_specs()]
+    )
     def test_phase_durations_tile_modeled_time(self, pg, engine):
-        r = self.ENGINES[engine](pg, SSSPProgram(0), trace=True).run()
+        spec = dict((s.name, s) for s in engine_specs())[engine]
+        r = spec.cls(pg, spec.make_program("sssp", source=0), trace=True).run()
         trace = r.trace
         assert trace is not None
         phase_sum = sum(

@@ -1,17 +1,17 @@
 """The paper's §3.5 correctness theorem, tested as a matrix.
 
-Every engine (eager Sync/Async, lazy Block/Vertex) under every
-partitioner, machine count, coherency mode, and interval strategy must
-converge to the single-machine reference values — exactly for the
-min/peeling algorithms, within O(tolerance) for PageRank — and all
-replicas of every vertex must agree at termination.
+Every engine in the registry (eager Sync/Async, the classic GAS pull
+engine, lazy Block/Vertex — and any future registration, automatically)
+under every partitioner, machine count, coherency mode, and interval
+strategy must converge to the single-machine reference values — exactly
+for the min/peeling algorithms, within O(tolerance) for PageRank — and
+all replicas of every vertex must agree at termination.
 """
 
 import numpy as np
 import pytest
 
 from repro.algorithms import (
-    BFSProgram,
     ConnectedComponentsProgram,
     KCoreProgram,
     PageRankDeltaProgram,
@@ -22,17 +22,25 @@ from repro.algorithms import (
     pagerank_reference,
     sssp_reference,
 )
-from repro.core import LazyBlockAsyncEngine, LazyVertexAsyncEngine, build_lazy_graph, make_interval_model
-from repro.powergraph import PowerGraphAsyncEngine, PowerGraphSyncEngine
-from repro.partition.partitioned_graph import PartitionedGraph
-from repro.partition.base import partition_graph
+from repro.core import LazyBlockAsyncEngine, build_lazy_graph, make_interval_model
+from repro.errors import AlgorithmError
+from repro.runtime.registry import engine_specs
 
-ENGINES = {
-    "powergraph-sync": PowerGraphSyncEngine,
-    "powergraph-async": PowerGraphAsyncEngine,
-    "lazy-block": LazyBlockAsyncEngine,
-    "lazy-vertex": LazyVertexAsyncEngine,
-}
+SPECS = {spec.name: spec for spec in engine_specs()}
+
+
+def run_engine(spec_name, pgraph, algorithm, **params):
+    """Run one registry engine on its own flavour of ``algorithm``.
+
+    Skips when the engine's program API has no formulation of the
+    algorithm (e.g. no classic full-gather bfs/kcore).
+    """
+    spec = SPECS[spec_name]
+    try:
+        program = spec.make_program(algorithm, **params)
+    except AlgorithmError as exc:
+        pytest.skip(f"{spec_name}: {exc}")
+    return spec.cls(pgraph, program).run()
 
 
 def assert_matches(result, reference, atol=0.0, rtol=0.0):
@@ -46,32 +54,32 @@ def assert_matches(result, reference, atol=0.0, rtol=0.0):
     assert result.stats.converged
 
 
-@pytest.mark.parametrize("engine_name", list(ENGINES))
+@pytest.mark.parametrize("engine_name", list(SPECS))
 class TestAllEnginesMatchReference:
     def test_sssp(self, er_weighted, engine_name):
         pg = build_lazy_graph(er_weighted, 6, seed=1)
-        result = ENGINES[engine_name](pg, SSSPProgram(0)).run()
+        result = run_engine(engine_name, pg, "sssp", source=0)
         assert_matches(result, sssp_reference(er_weighted, 0))
 
     def test_bfs(self, er_graph, engine_name):
         pg = build_lazy_graph(er_graph, 6, seed=1)
-        result = ENGINES[engine_name](pg, BFSProgram(0)).run()
+        result = run_engine(engine_name, pg, "bfs", source=0)
         assert_matches(result, bfs_reference(er_graph, 0))
 
     def test_cc(self, er_symmetric, engine_name):
         pg = build_lazy_graph(er_symmetric, 6, seed=1)
-        result = ENGINES[engine_name](pg, ConnectedComponentsProgram()).run()
+        result = run_engine(engine_name, pg, "cc")
         assert_matches(result, cc_reference(er_symmetric))
 
     def test_kcore(self, er_symmetric, engine_name):
         pg = build_lazy_graph(er_symmetric, 6, seed=1)
-        result = ENGINES[engine_name](pg, KCoreProgram(k=4)).run()
+        result = run_engine(engine_name, pg, "kcore", k=4)
         assert_matches(result, kcore_reference(er_symmetric, 4))
 
     def test_pagerank(self, er_graph, engine_name):
         tol = 1e-5
         pg = build_lazy_graph(er_graph, 6, seed=1)
-        result = ENGINES[engine_name](pg, PageRankDeltaProgram(tolerance=tol)).run()
+        result = run_engine(engine_name, pg, "pagerank", tolerance=tol)
         # residual pending mass amplifies by at most 1/(1-d)
         assert_matches(result, pagerank_reference(er_graph), atol=tol * 10, rtol=tol * 20)
 

@@ -39,6 +39,29 @@ class TestGASPrograms:
         with pytest.raises(EngineError, match="weights"):
             PowerGraphGASSyncEngine(pg, GASSSSP(0))
 
+    def test_unweighted_error_carries_fix_hint(self, er_graph):
+        """Regression: the GAS engine used to truncate BaseEngine's hint."""
+        pg = build_lazy_graph(er_graph, 4, seed=1)
+        with pytest.raises(
+            EngineError, match=r"attach_uniform_weights or weighted=True"
+        ):
+            PowerGraphGASSyncEngine(pg, GASSSSP(0))
+
+    def test_max_supersteps_validated(self, er_graph):
+        """Regression: the GAS engine used to skip this BaseEngine check."""
+        pg = build_lazy_graph(er_graph, 4, seed=1)
+        with pytest.raises(EngineError, match="max_supersteps"):
+            PowerGraphGASSyncEngine(pg, GASPageRank(), max_supersteps=0)
+
+    def test_make_gas_program_by_name(self):
+        from repro.powergraph import make_gas_program
+
+        prog = make_gas_program("sssp", source=5)
+        assert isinstance(prog, GASSSSP)
+        assert prog.source == 5
+        with pytest.raises(AlgorithmError, match="no classic GAS"):
+            make_gas_program("kcore")
+
 
 class TestGASEquivalence:
     def test_pagerank_matches_reference(self, er_graph):

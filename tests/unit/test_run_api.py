@@ -88,6 +88,46 @@ class TestRegistry:
         assert set(repro.ENGINE_NAMES) == {
             "powergraph-sync",
             "powergraph-async",
+            "powergraph-gas-sync",
             "lazy-block",
             "lazy-vertex",
         }
+
+    def test_engine_names_match_registry(self):
+        from repro.runtime.registry import engine_names
+
+        assert repro.ENGINE_NAMES == engine_names()
+
+    def test_specs_are_complete(self):
+        for spec in repro.engine_specs():
+            assert spec.cls.name == spec.name
+            assert spec.family in ("eager", "lazy")
+            assert spec.description
+
+    def test_gas_engine_reachable_from_run(self):
+        r = repro.run(
+            "road-ca-mini", "cc", engine="powergraph-gas-sync", machines=4
+        )
+        assert r.engine == "powergraph-gas-sync"
+        assert r.stats.converged
+        # eager cost structure: 3 syncs per superstep, no lazy points
+        assert r.stats.global_syncs == 3 * r.stats.supersteps
+
+    def test_gas_engine_rejects_delta_program_instance(self, er_graph):
+        prog = repro.make_program("pagerank")
+        with pytest.raises(ConfigError, match="GASProgram"):
+            repro.run(er_graph, prog, engine="powergraph-gas-sync", machines=2)
+
+    def test_delta_engine_rejects_gas_program_instance(self, er_graph):
+        from repro.powergraph.gas import GASPageRank
+
+        with pytest.raises(ConfigError, match="DeltaProgram"):
+            repro.run(er_graph, GASPageRank(), engine="lazy-block", machines=2)
+
+    def test_gas_engine_has_no_bfs_formulation(self, er_graph):
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError, match="no classic GAS"):
+            repro.run(
+                er_graph, "bfs", engine="powergraph-gas-sync", machines=2
+            )
