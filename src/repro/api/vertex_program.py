@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,14 @@ class DeltaAlgebra:
         Ufunc with ``inverse(combine(a, b), b) == a``, or ``None``.
     idempotent:
         ``combine(a, a) == a`` for all a.
+    magnitude_fn:
+        Optional monoid-appropriate mass measure over a *batch* of
+        pending deltas (1-D float64 array → scalar). Used by the
+        coherency lens (:mod:`repro.obs.lens`) to quantify how much
+        un-exchanged information replicas are sitting on. ``None``
+        falls back to counting the entries that differ from the
+        identity, which is sound for every monoid (an identity delta
+        carries no information).
     """
 
     name: str
@@ -70,6 +78,7 @@ class DeltaAlgebra:
     identity: float
     inverse_ufunc: Optional[np.ufunc] = None
     idempotent: bool = False
+    magnitude_fn: Optional[Callable[[np.ndarray], float]] = None
 
     def combine(self, a, b):
         """Vectorized ⊕."""
@@ -91,6 +100,20 @@ class DeltaAlgebra:
             )
         return self.inverse_ufunc(total, own)
 
+    def magnitude(self, values) -> float:
+        """Mass of a batch of pending deltas (0.0 ⇔ empty batch).
+
+        Sum-like algebras measure total absolute delta (how much value
+        is still in flight); idempotent min/max algebras count entries
+        carrying information (values differing from the identity).
+        """
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            return 0.0
+        if self.magnitude_fn is not None:
+            return float(self.magnitude_fn(v))
+        return float(np.count_nonzero(v != self.identity))
+
     @property
     def supports_mirrors_to_master(self) -> bool:
         """m2m delta exchange is sound iff invertible or idempotent."""
@@ -98,7 +121,8 @@ class DeltaAlgebra:
 
 
 SUM_ALGEBRA = DeltaAlgebra(
-    "sum", np.add, 0.0, inverse_ufunc=np.subtract, idempotent=False
+    "sum", np.add, 0.0, inverse_ufunc=np.subtract, idempotent=False,
+    magnitude_fn=lambda v: float(np.abs(v).sum()),
 )
 MIN_ALGEBRA = DeltaAlgebra("min", np.minimum, np.inf, idempotent=True)
 MAX_ALGEBRA = DeltaAlgebra("max", np.maximum, -np.inf, idempotent=True)

@@ -77,6 +77,7 @@ class ExperimentConfig:
     interval: str = "adaptive"
     coherency_mode: str = "dynamic"
     seed: int = 0
+    lens: bool = False
     params: Dict = field(default_factory=dict)
 
     def resolved_params(self) -> Dict:

@@ -19,6 +19,7 @@ from repro.bench.configs import ExperimentConfig
 from repro.cluster.network import NetworkModel
 from repro.core.interval_model import make_interval_model
 from repro.core.transmission import build_lazy_graph
+from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.partition.edge_splitter import EdgeSplitConfig
@@ -92,6 +93,7 @@ def run_config(
         config.interval,
         config.coherency_mode,
         config.seed,
+        config.lens,
         tuple(sorted(config.resolved_params().items())),
         split,
         network,
@@ -117,6 +119,12 @@ def run_config(
         kwargs["interval_model"] = make_interval_model(config.interval)
     if "coherency_mode" in spec.options:
         kwargs["coherency_mode"] = config.coherency_mode
+    if config.lens:
+        if "lens" not in spec.options:
+            raise ConfigError(
+                f"engine {config.engine!r} has no coherency lens"
+            )
+        kwargs["lens"] = True
     result = spec.cls(pgraph, program, **kwargs).run()
     timer.lap("engine")
     timer.stop()

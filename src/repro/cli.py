@@ -7,7 +7,9 @@ Mirrors how the paper's toolkits are driven from the shell:
 * ``datasets`` — the Table 1 registry;
 * ``info``     — structural properties of one graph;
 * ``sweep``    — machine-count scaling series (a Fig 12 panel);
-* ``report``   — per-phase breakdown of a recorded execution trace.
+* ``report``   — per-phase breakdown of a recorded execution trace,
+  with LensAuditor anomaly flags (``--strict`` exits 3 on anomalies);
+* ``dashboard``— render a recorded trace as an offline HTML dashboard.
 """
 
 from __future__ import annotations
@@ -76,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-format", default="jsonl", choices=list(TRACE_FORMATS),
         help="trace file format: jsonl or chrome (chrome://tracing)",
     )
+    p_run.add_argument(
+        "--lens", action="store_true",
+        help="enable the coherency lens (lazy engines): replica "
+             "staleness/divergence probes + the decision audit log",
+    )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
     add_common(p_cmp)
@@ -123,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase time breakdown of a recorded trace (jsonl or chrome)",
     )
     p_rep.add_argument("trace", help="trace file written by run --trace-out")
+    p_rep.add_argument(
+        "--strict", action="store_true",
+        help="exit with code 3 when the LensAuditor flags any anomaly",
+    )
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a recorded trace as a self-contained HTML dashboard",
+    )
+    p_dash.add_argument("trace", help="trace file written by run --trace-out")
+    p_dash.add_argument(
+        "-o", "--out", default="run.html", help="output HTML path",
+    )
     return parser
 
 
@@ -153,6 +173,7 @@ def _cmd_run(args) -> int:
         trace=getattr(args, "trace", False),
         trace_out=getattr(args, "trace_out", None),
         trace_format=getattr(args, "trace_format", None) or "jsonl",
+        lens=getattr(args, "lens", False),
         **kwargs,
     )
     print(f"{result.engine}/{result.algorithm} on {args.graph} "
@@ -346,10 +367,42 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from repro.obs.audit import LensAuditor
     from repro.obs.report import format_report, load_trace, summarize_trace
 
     trace = load_trace(args.trace)
     print(format_report(summarize_trace(trace)))
+    untracked = trace.meta.get("untracked_charges") or {}
+    if sum(untracked.values()) > 0:
+        print(
+            f"\nWARNING: {sum(untracked.values()):.6f}s of model-time "
+            f"charges were NOT attributed to any span "
+            f"({', '.join(f'{k}={v:.6f}s' for k, v in sorted(untracked.items()))}).\n"
+            f"WARNING: the per-phase table above does not tile the run; "
+            f"treat phase shares as lower bounds.",
+            file=sys.stderr,
+        )
+    anomalies = LensAuditor(trace).audit()
+    for anomaly in anomalies:
+        print(str(anomaly), file=sys.stderr)
+    if getattr(args, "strict", False) and anomalies:
+        print(
+            f"strict mode: {len(anomalies)} anomaly(ies) flagged",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.report import load_trace
+
+    trace = load_trace(args.trace)
+    html_doc = render_dashboard(trace)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html_doc)
+    print(f"dashboard written to {args.out} ({len(html_doc)} bytes)")
     return 0
 
 
@@ -371,6 +424,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "dashboard": _cmd_dashboard,
 }
 
 

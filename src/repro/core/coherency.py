@@ -43,6 +43,7 @@ from repro.comms import (
 )
 from repro.errors import EngineError
 from repro.kernels.segment_reduce import scatter_reduce
+from repro.obs.lens import NULL_LENS
 from repro.obs.tracer import NULL_TRACER
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
@@ -81,6 +82,7 @@ class CoherencyExchanger:
         tracer=None,
         plane: Optional[ExchangePlane] = None,
         delivery: Delivery = Delivery.BSP,
+        lens=None,
     ) -> None:
         if mode not in ("dynamic", "a2a", "m2m"):
             raise EngineError(f"unknown coherency mode {mode!r}")
@@ -95,6 +97,7 @@ class CoherencyExchanger:
         self.mode = mode
         self.network = network or NetworkModel()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.lens = lens if lens is not None else NULL_LENS
         # channel plan: both wire protocols get their own typed channel;
         # deliver() picks per exchange, matching the dynamic switching.
         # Without a plane the exchanger only stages (unit-test mode).
@@ -197,9 +200,13 @@ class CoherencyExchanger:
                 staged_deltas.append(rt.delta_msg[idx])
         if staged_gids:
             all_gids = np.concatenate(staged_gids)
-            scatter_reduce(alg, total, all_gids, np.concatenate(staged_deltas))
+            all_deltas = np.concatenate(staged_deltas)
+            scatter_reduce(alg, total, all_gids, all_deltas)
             # replica counts are pure integer sums — no ⊕ semantics needed
             cnt[:] = np.bincount(all_gids, minlength=cnt.size)
+            if self.lens.enabled:
+                # delta mass this exchange ships (monoid-measured)
+                self.lens.on_staged(alg.magnitude(all_deltas))
 
         exchanged = np.flatnonzero(cnt > 0)
         if exchanged.size == 0:

@@ -33,6 +33,7 @@ from repro.core.interval_model import (
     AdaptiveIntervalModel,
     IntervalModel,
 )
+from repro.obs.lens import CoherencyLens
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.base_engine import BaseEngine
 
@@ -51,6 +52,10 @@ class LazyBlockAsyncEngine(BaseEngine):
         adaptive rule).
     coherency_mode:
         ``"dynamic"`` (paper default), ``"a2a"`` or ``"m2m"``.
+    lens:
+        Enable the coherency lens (:mod:`repro.obs.lens`): staleness/
+        divergence probes and the decision audit log. Off by default —
+        the hot path then only touches the no-op ``NULL_LENS``.
     """
 
     name = "lazy-block"
@@ -65,12 +70,16 @@ class LazyBlockAsyncEngine(BaseEngine):
         max_supersteps: int = 100_000,
         trace: bool = False,
         tracer=None,
+        lens: bool = False,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
         self.interval_model = interval_model or AdaptiveIntervalModel()
+        if lens:
+            self.lens = CoherencyLens.for_engine(self)
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
             tracer=self.tracer, plane=self.comms, delivery=Delivery.BSP,
+            lens=self.lens,
         )
 
     # ------------------------------------------------------------------
@@ -113,6 +122,13 @@ class LazyBlockAsyncEngine(BaseEngine):
                 if budget is None:
                     # doLC(): measure the stage's first micro-iteration online
                     budget = self.interval_model.local_budget(seconds)
+                    self.lens.decision(
+                        "local_budget",
+                        rule=self.interval_model.name,
+                        verdict="budget",
+                        first_iteration_s=seconds,
+                        budget_s=budget,
+                    )
                 spent += seconds
                 if spent >= budget:
                     break
@@ -129,11 +145,17 @@ class LazyBlockAsyncEngine(BaseEngine):
         ev_ratio = self.pgraph.graph.ev_ratio
 
         tracer = self.tracer
+        lens = self.lens
         for step in range(self.max_supersteps):
             with tracer.span("superstep", category="superstep", superstep=step):
+                lens.begin_superstep(step)
                 # ---- Stage 1: local computation -----------------------
                 if do_local:
                     self._local_stage()
+
+                # pre-exchange reading: how much divergence did the local
+                # stage build up before this coherency point repairs it
+                lens.probe()
 
                 # ---- Stage 2: data coherency --------------------------
                 with tracer.span("coherency", category="phase") as sp:
@@ -143,6 +165,10 @@ class LazyBlockAsyncEngine(BaseEngine):
                     sp.set(mode=report.mode.value,
                            volume_bytes=report.volume_bytes,
                            exchanged=report.vertices_exchanged)
+                # every counted coherency point gets its audit entry +
+                # post-exchange invariant probe (full exchange: nothing
+                # may stay pending)
+                lens.on_exchange(report, rule="superstep-coherency")
 
                 active = self._global_active_count()
                 if active == 0:
@@ -161,6 +187,14 @@ class LazyBlockAsyncEngine(BaseEngine):
                     "interval-decision",
                     superstep=step, ev_ratio=ev_ratio, trend=trend,
                     do_local=do_local, active=active,
+                )
+                lens.decision(
+                    "turn_on_lazy",
+                    rule=self.interval_model.name,
+                    verdict="lazy-on" if do_local else "lazy-off",
+                    ev_ratio=ev_ratio,
+                    trend=trend,
+                    active=active,
                 )
                 prev_active = active
                 if self.trace:

@@ -30,6 +30,7 @@ from repro.cluster.termination import TerminationDetector
 from repro.comms import Delivery
 from repro.core.coherency import CoherencyExchanger
 from repro.errors import EngineError
+from repro.obs.lens import CoherencyLens
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.base_engine import BaseEngine
 from repro.runtime.machine_runtime import MachineRuntime
@@ -46,6 +47,9 @@ class LazyVertexAsyncEngine(BaseEngine):
         A replica's pending delta is exchanged once it is this many
         local rounds old. 1 = exchange every round (most coherent);
         larger values trade staleness for fewer exchanges.
+    lens:
+        Enable the coherency lens (:mod:`repro.obs.lens`): staleness/
+        divergence probes and the decision audit log. Off by default.
     """
 
     name = "lazy-vertex"
@@ -60,15 +64,19 @@ class LazyVertexAsyncEngine(BaseEngine):
         max_supersteps: int = 100_000,
         trace: bool = False,
         tracer=None,
+        lens: bool = False,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
         if max_delta_age < 1:
             raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")
         self.max_delta_age = max_delta_age
+        if lens:
+            self.lens = CoherencyLens.for_engine(self)
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
             tracer=self.tracer, plane=self.comms,
             delivery=Delivery.ASYNC_PIPELINED,
+            lens=self.lens,
         )
         self._age: List[np.ndarray] = [
             np.zeros(mg.num_local_vertices, dtype=np.int64)
@@ -84,8 +92,10 @@ class LazyVertexAsyncEngine(BaseEngine):
         self._bootstrap(track_delta=True)
 
         tracer = self.tracer
+        lens = self.lens
         for step in range(self.max_supersteps):
             with tracer.span("superstep", category="superstep", superstep=step):
+                lens.begin_superstep(step)
                 # ---- continuous local processing (one round) -----------
                 with tracer.span("local-round", category="phase") as sp:
                     round_edges = 0
@@ -113,6 +123,10 @@ class LazyVertexAsyncEngine(BaseEngine):
                 def ready(rt: MachineRuntime, _ages=self._age) -> np.ndarray:
                     return _ages[rt.mg.machine_id] >= self.max_delta_age
 
+                # pre-exchange reading: staleness ages + the pending mass
+                # the due replicas are about to ship
+                lens.probe()
+
                 idle = self._globally_idle()
                 with tracer.span("partial-coherency", category="phase") as sp:
                     if idle:
@@ -125,6 +139,16 @@ class LazyVertexAsyncEngine(BaseEngine):
                     if not report.empty:
                         sim.stats.coherency_points += 1
                         sent_total += report.messages
+                        # audit entry + invariant probe while the due mask
+                        # still reflects pre-exchange ages: a full (idle)
+                        # drain must clear everything, a partial exchange
+                        # the due replicas + unreplicated vertices
+                        lens.on_exchange(
+                            report,
+                            due=None if idle else ready,
+                            rule="idle-drain" if idle else "max-delta-age",
+                            max_delta_age=self.max_delta_age,
+                        )
                         for rt, age in zip(self.runtimes, self._age):
                             age[~rt.has_delta] = 0
                     # transfers pipeline behind local processing (§3.4)

@@ -9,10 +9,26 @@ The observability layer the paper's counter-driven evaluation implies:
   ``RunStats`` is built on;
 * :mod:`repro.obs.sinks` — in-memory (default), JSONL stream, and
   Chrome ``trace_event`` export (``chrome://tracing`` / Perfetto);
-* :mod:`repro.obs.report` — summarize a saved trace (``repro report``).
+* :mod:`repro.obs.report` — summarize a saved trace (``repro report``);
+* :mod:`repro.obs.lens` — the coherency lens: replica-staleness and
+  divergence probes plus the coherency-decision audit log for the lazy
+  engines (opt-in via ``lens=True``);
+* :mod:`repro.obs.audit` — :class:`LensAuditor` invariant checks over a
+  finished trace (untracked charges, pending-mass leaks, final drift,
+  ledger reconciliation);
+* :mod:`repro.obs.dashboard` — offline single-file HTML run dashboard
+  (``repro dashboard``).
 """
 
+from repro.obs.audit import Anomaly, LensAuditor
 from repro.obs.chrome import chrome_trace_document
+from repro.obs.dashboard import render_dashboard
+from repro.obs.lens import (
+    NULL_LENS,
+    CoherencyDecision,
+    CoherencyLens,
+    NullLens,
+)
 from repro.obs.metrics import (
     Counter,
     ExtraView,
@@ -57,4 +73,11 @@ __all__ = [
     "load_trace",
     "summarize_trace",
     "format_report",
+    "CoherencyLens",
+    "CoherencyDecision",
+    "NullLens",
+    "NULL_LENS",
+    "LensAuditor",
+    "Anomaly",
+    "render_dashboard",
 ]

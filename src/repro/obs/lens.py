@@ -1,0 +1,439 @@
+"""The coherency lens: replica-staleness probes and the decision audit log.
+
+The paper's whole argument is that letting replicas *diverge* between
+sparse coherency points is safe and profitable — yet time/sync/byte
+counters never measure the divergence itself. The lens closes that gap
+for the lazy engines with three families of observations, all read-only
+and all behind an opt-in flag (``lens=True``) so the default hot path
+stays bit-identical:
+
+* **staleness & divergence probes** — once per superstep: per-machine
+  pending ``deltaMsg`` mass (monoid-measured through
+  :meth:`~repro.api.vertex_program.DeltaAlgebra.magnitude`), replica
+  staleness age (supersteps a delta has been pending), and
+  master↔mirror value drift on a deterministic sample of replicated
+  vertices;
+* **coherency-decision audit log** — a structured
+  :class:`CoherencyDecision` for every interval-rule evaluation
+  (``turn_on_lazy`` / ``local_budget``) and one per executed coherency
+  exchange, so a report can answer *why did the coherency point happen
+  then*;
+* **post-exchange invariant probes** — immediately after each exchange
+  the lens re-measures the pending mass in the scope the exchange was
+  responsible for clearing (everything for a full exchange, the due
+  replicas for a partial one). :class:`~repro.obs.audit.LensAuditor`
+  flags any non-zero reading at report time.
+
+Everything is emitted twice: as tracer instants (``lens-probe`` /
+``lens-exchange`` / ``coherency-decision`` / ``channel-ledger`` /
+``lens-final``) so saved traces carry the full timeline, and as
+metrics (``lens.*`` histograms/gauges/counters) on the run's
+:class:`~repro.cluster.stats.RunStats` registry so summaries ride into
+``stats.to_dict()``. :data:`NULL_LENS` is the no-op twin engines hold
+when the lens is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "CoherencyDecision",
+    "CoherencyLens",
+    "NullLens",
+    "NULL_LENS",
+    "STALENESS_BUCKETS",
+    "MASS_BUCKETS",
+]
+
+#: Staleness-age histogram boundaries (supersteps a delta stayed pending).
+STALENESS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: Pending/exchanged delta-mass histogram boundaries (monoid units).
+MASS_BUCKETS = (0.0, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
+
+
+@dataclass(frozen=True)
+class CoherencyDecision:
+    """One structured entry of the coherency-decision audit log.
+
+    Attributes
+    ----------
+    superstep:
+        Superstep index the decision was taken in.
+    kind:
+        ``"turn_on_lazy"`` / ``"local_budget"`` (interval-rule
+        evaluations) or ``"coherency"`` (one per executed coherency
+        exchange — the audit invariant is that the count of these
+        equals ``RunStats.coherency_points``).
+    rule:
+        Name of the rule that decided (interval-model name,
+        ``"max-delta-age"``, ``"idle-drain"``).
+    verdict:
+        Human-readable outcome (``"lazy-on"``, ``"exchange"``, …).
+    inputs:
+        The numeric inputs the rule saw (``ev_ratio``, ``trend``,
+        ``budget_s``, ``ready_replicas`` …).
+    """
+
+    superstep: int
+    kind: str
+    rule: str
+    verdict: str
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form (the trace-instant attrs)."""
+        out: Dict[str, Any] = {
+            "superstep": self.superstep,
+            "kind": self.kind,
+            "rule": self.rule,
+            "verdict": self.verdict,
+        }
+        out.update(self.inputs)
+        return out
+
+
+class NullLens:
+    """Disabled lens: every hook is a no-op (the default on hot paths)."""
+
+    enabled = False
+
+    def begin_superstep(self, step: int) -> None:
+        pass
+
+    def probe(self) -> None:
+        pass
+
+    def on_staged(self, staged_mass: float) -> None:
+        pass
+
+    def decision(self, kind: str, rule: str, verdict: str, **inputs) -> None:
+        pass
+
+    def on_exchange(
+        self, report, due: Optional[Callable] = None, rule: str = "", **inputs
+    ) -> None:
+        pass
+
+    def finish(self, converged: bool) -> None:
+        pass
+
+
+NULL_LENS = NullLens()
+
+
+class CoherencyLens:
+    """Live replica-coherency observability for one lazy engine run.
+
+    Parameters
+    ----------
+    runtimes / pgraph / program:
+        The engine's per-machine runtimes, partitioned graph and delta
+        program (the lens only ever *reads* them).
+    tracer:
+        Span tracer to emit instants through (``NULL_TRACER`` is fine —
+        metrics still accumulate).
+    stats:
+        The run's :class:`~repro.cluster.stats.RunStats`; lens metrics
+        are registered on its registry and summary counters land in
+        ``stats.extra``.
+    plane:
+        The engine's :class:`~repro.comms.ExchangePlane`; each probe
+        snapshots the per-channel ledgers into the plane timeline and a
+        ``channel-ledger`` instant so traffic lines up with decisions.
+    sample_size / seed:
+        Deterministic master↔mirror drift sample: up to ``sample_size``
+        replicated vertices drawn with a seeded generator.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        runtimes,
+        pgraph,
+        program,
+        tracer=None,
+        stats=None,
+        plane=None,
+        sample_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
+        self.runtimes = list(runtimes)
+        self.pgraph = pgraph
+        self.program = program
+        self.algebra = program.algebra
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = stats
+        self.plane = plane
+        self.decisions: List[CoherencyDecision] = []
+        self.exchanges = 0
+        self.probes = 0
+        self.superstep = -1
+        self.final_drift: Optional[float] = None
+        self.invariant_breaks = 0
+        # staleness ages: supersteps each replica's delta has been pending
+        self._ages = [
+            np.zeros(rt.mg.num_local_vertices, dtype=np.int64)
+            for rt in self.runtimes
+        ]
+        self._sample = self._pick_drift_sample(sample_size, seed)
+        if stats is not None:
+            m = stats.metrics
+            self.h_staleness = m.histogram(
+                "lens.staleness",
+                "supersteps a pending delta aged before exchange",
+                buckets=STALENESS_BUCKETS,
+            )
+            self.h_pending = m.histogram(
+                "lens.pending_mass",
+                "per-probe total pending deltaMsg mass (monoid units)",
+                buckets=MASS_BUCKETS,
+            )
+            self.h_staged = m.histogram(
+                "lens.exchange_mass",
+                "delta mass shipped per coherency exchange",
+                buckets=MASS_BUCKETS,
+            )
+            self.g_drift = m.gauge(
+                "lens.drift_max", "last sampled master↔mirror drift"
+            )
+        else:
+            self.h_staleness = self.h_pending = self.h_staged = None
+            self.g_drift = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_engine(cls, engine, **kwargs) -> "CoherencyLens":
+        """Build a lens wired to a :class:`BaseEngine`'s run objects."""
+        return cls(
+            engine.runtimes,
+            engine.pgraph,
+            engine.program,
+            tracer=engine.tracer,
+            stats=engine.sim.stats,
+            plane=engine.comms,
+            **kwargs,
+        )
+
+    def _pick_drift_sample(self, sample_size: int, seed: int):
+        """Deterministic replicated-vertex sample → replica locations.
+
+        Returns ``(gids, [(machine, local_idx), ...] per gid)``; empty
+        when the partition has no replicated vertices (1 machine).
+        """
+        replicated = np.flatnonzero(self.pgraph.num_replicas > 1)
+        if replicated.size == 0:
+            return np.empty(0, dtype=np.int64), []
+        if replicated.size > sample_size:
+            rng = np.random.default_rng(seed)
+            replicated = np.sort(
+                rng.choice(replicated, size=sample_size, replace=False)
+            )
+        locations: List[List] = [[] for _ in range(replicated.size)]
+        pos = {int(g): i for i, g in enumerate(replicated)}
+        for mi, rt in enumerate(self.runtimes):
+            for li, gid in enumerate(rt.mg.vertices):
+                slot = pos.get(int(gid))
+                if slot is not None:
+                    locations[slot].append((mi, li))
+        return replicated, locations
+
+    # ------------------------------------------------------------------
+    # Measurements (all read-only)
+    # ------------------------------------------------------------------
+    def _pending_mass(self, rt, mask: Optional[np.ndarray] = None) -> float:
+        sel = rt.has_delta if mask is None else (rt.has_delta & mask)
+        idx = np.flatnonzero(sel)
+        if idx.size == 0:
+            return 0.0
+        return self.algebra.magnitude(rt.delta_msg[idx])
+
+    def _pending_count(self, rt, mask: Optional[np.ndarray] = None) -> int:
+        sel = rt.has_delta if mask is None else (rt.has_delta & mask)
+        return int(np.count_nonzero(sel))
+
+    def sample_drift(self) -> float:
+        """Max |master − mirror| value gap over the deterministic sample."""
+        gids, locations = self._sample
+        if gids.size == 0:
+            return 0.0
+        values = [rt.values() for rt in self.runtimes]
+        worst = 0.0
+        for locs in locations:
+            lo = np.inf
+            hi = -np.inf
+            for mi, li in locs:
+                v = float(values[mi][li])
+                lo = min(lo, v)
+                hi = max(hi, v)
+            gap = hi - lo
+            if np.isfinite(gap) and gap > worst:
+                worst = gap
+        return float(worst)
+
+    def full_drift(self) -> float:
+        """Max cross-replica value gap over *all* vertices (finish-time)."""
+        n = self.pgraph.graph.num_vertices
+        lo = np.full(n, np.inf)
+        hi = np.full(n, -np.inf)
+        for rt in self.runtimes:
+            vals = rt.values()
+            gids = rt.mg.vertices
+            np.minimum.at(lo, gids, vals)
+            np.maximum.at(hi, gids, vals)
+        with np.errstate(invalid="ignore"):
+            diff = hi - lo  # ∞−∞ → nan: replicas all at ∞ agree
+        finite = np.isfinite(diff)
+        return float(diff[finite].max()) if finite.any() else 0.0
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def begin_superstep(self, step: int) -> None:
+        """Advance the staleness clocks at the top of a superstep."""
+        self.superstep = step
+        for ages, rt in zip(self._ages, self.runtimes):
+            ages[rt.has_delta] += 1
+            ages[~rt.has_delta] = 0
+
+    def probe(self) -> None:
+        """Per-superstep staleness/divergence gauges (pre-exchange)."""
+        self.probes += 1
+        masses = [self._pending_mass(rt) for rt in self.runtimes]
+        pending = [self._pending_count(rt) for rt in self.runtimes]
+        total_mass = float(sum(masses))
+        stale_max = 0
+        for ages, rt in zip(self._ages, self.runtimes):
+            live = ages[rt.has_delta]
+            if live.size:
+                stale_max = max(stale_max, int(live.max()))
+                if self.h_staleness is not None:
+                    counts = np.bincount(live)
+                    for age_value in np.flatnonzero(counts):
+                        self.h_staleness.observe(
+                            float(age_value), int(counts[age_value])
+                        )
+        if self.h_pending is not None:
+            self.h_pending.observe(total_mass)
+        drift = self.sample_drift()
+        if self.g_drift is not None:
+            self.g_drift.set(drift)
+        active = int(sum(rt.num_active for rt in self.runtimes))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.counter("active_vertices", active)
+            tracer.instant(
+                "lens-probe",
+                superstep=self.superstep,
+                pending_mass=total_mass,
+                pending_replicas=int(sum(pending)),
+                staleness_max=stale_max,
+                drift_max=drift,
+                machine_mass=[float(m) for m in masses],
+            )
+        self._snapshot_channels()
+
+    def _snapshot_channels(self) -> None:
+        """Per-superstep per-channel ledger timeline (traffic vs decisions)."""
+        if self.plane is None:
+            return
+        entry = self.plane.snapshot(self.superstep)
+        if self.tracer.enabled:
+            attrs: Dict[str, Any] = {"superstep": self.superstep}
+            for name, counters in entry.items():
+                if name == "superstep":
+                    continue
+                attrs[f"{name}.bytes"] = float(counters["bytes"])
+                attrs[f"{name}.messages"] = int(counters["messages"])
+                attrs[f"{name}.syncs"] = int(counters["syncs"])
+            self.tracer.instant("channel-ledger", **attrs)
+
+    def on_staged(self, staged_mass: float) -> None:
+        """Delta mass shipped by the exchanger in the current exchange."""
+        if self.h_staged is not None:
+            self.h_staged.observe(float(staged_mass))
+
+    def decision(self, kind: str, rule: str, verdict: str, **inputs) -> None:
+        """Record one interval-rule / coherency decision."""
+        d = CoherencyDecision(self.superstep, kind, rule, verdict, inputs)
+        self.decisions.append(d)
+        if self.tracer.enabled:
+            self.tracer.instant("coherency-decision", **d.to_record())
+
+    def on_exchange(
+        self, report, due: Optional[Callable] = None, rule: str = "", **inputs
+    ) -> None:
+        """Post-exchange probe + the exchange's ``"coherency"`` decision.
+
+        ``due`` scopes the invariant: ``None`` means the exchange was
+        *full* (every pending delta must be gone afterwards); otherwise
+        ``due(rt)`` masks the replicas that were due for exchange (only
+        those, plus unreplicated vertices, must be clean).
+        """
+        self.exchanges += 1
+        full = due is None
+        mass_after = 0.0
+        count_after = 0
+        for rt in self.runtimes:
+            if full:
+                mask = None
+            else:
+                mask = due(rt) | (rt.mg.num_replicas == 1)
+            mass_after += self._pending_mass(rt, mask)
+            count_after += self._pending_count(rt, mask)
+        ok = count_after == 0 and mass_after == 0.0
+        if not ok:
+            self.invariant_breaks += 1
+        self.decision(
+            "coherency",
+            rule=rule,
+            verdict="exchange" if not report.empty else "empty-exchange",
+            mode=report.mode.value,
+            vertices=int(report.vertices_exchanged),
+            volume_bytes=float(report.volume_bytes),
+            **inputs,
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "lens-exchange",
+                superstep=self.superstep,
+                full=full,
+                mass_after=float(mass_after),
+                pending_after=int(count_after),
+                vertices=int(report.vertices_exchanged),
+                mode=report.mode.value,
+            )
+
+    def finish(self, converged: bool) -> None:
+        """Final drift measurement + summary publication (idempotent)."""
+        if self.final_drift is not None:
+            return
+        self.final_drift = self.full_drift()
+        if self.stats is not None:
+            self.stats.extra["lens.decisions"] = float(len(self.decisions))
+            self.stats.extra["lens.exchanges"] = float(self.exchanges)
+            self.stats.extra["lens.probes"] = float(self.probes)
+            self.stats.extra["lens.final_drift"] = self.final_drift
+            self.stats.extra["lens.invariant_breaks"] = float(
+                self.invariant_breaks
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "lens-final",
+                converged=bool(converged),
+                drift=self.final_drift,
+                decisions=len(self.decisions),
+                coherency_decisions=sum(
+                    1 for d in self.decisions if d.kind == "coherency"
+                ),
+                exchanges=self.exchanges,
+                invariant_breaks=self.invariant_breaks,
+            )

@@ -119,21 +119,63 @@ class Histogram(Metric):
         self.min = math.inf
         self.max = -math.inf
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``value`` seen ``count`` times (weighted observation).
+
+        The weighted form keeps batch recording O(distinct values): the
+        coherency lens folds thousands of identical per-replica
+        staleness ages into one call per distinct age.
+        """
+        if count < 1:
+            raise ValueError(
+                f"histogram {self.name!r}: observation count must be >= 1"
+            )
         value = float(value)
-        self.count += 1
-        self.sum += value
+        self.count += count
+        self.sum += value * count
         self.min = min(self.min, value)
         self.max = max(self.max, value)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.bucket_counts[i] += 1
+                self.bucket_counts[i] += count
                 return
-        self.bucket_counts[-1] += 1
+        self.bucket_counts[-1] += count
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 <= q <= 1) from the bucket counts.
+
+        Prometheus-style linear interpolation inside the target bucket,
+        with the observed ``min``/``max`` tightening the open-ended
+        first/last buckets (so estimates never leave the observed
+        range). Bucketless histograms degrade to interpolating between
+        ``min`` and ``max`` — only the endpoints are exact there.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if not self.bounds:
+            return self.min + q * (self.max - self.min)
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                frac = (target - cum) / n
+                return lower + frac * (upper - lower)
+            cum += n
+        return self.max
 
     def export(self) -> Dict[str, float]:
         out: Dict[str, float] = {
@@ -142,6 +184,9 @@ class Histogram(Metric):
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
         for bound, n in zip(self.bounds + [math.inf], self.bucket_counts):
             out[f"le_{bound:g}"] = float(n)

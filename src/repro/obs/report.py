@@ -22,7 +22,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["TraceData", "load_trace", "summarize_trace", "format_report"]
+__all__ = [
+    "TraceData",
+    "load_trace",
+    "trace_from_tracer",
+    "summarize_trace",
+    "format_report",
+]
 
 _US = 1e6
 
@@ -116,6 +122,29 @@ def load_trace(path: str) -> TraceData:
     if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
         return _load_chrome(json.loads(text))
     return _load_jsonl(text.splitlines())
+
+
+def trace_from_tracer(tracer) -> TraceData:
+    """Normalize a finished in-memory :class:`Tracer` into a TraceData.
+
+    The same view ``load_trace`` produces from a JSONL file — the
+    round-trip tests assert the two agree — so reports, audits and
+    dashboards run identically on live runs and saved traces.
+    """
+    trace = TraceData()
+    for record in tracer.records:
+        rtype = record.get("type")
+        if rtype == "span":
+            trace.spans.append(record)
+        elif rtype == "instant":
+            trace.instants.append(record)
+        elif rtype == "counter":
+            trace.counters.append(record)
+        elif rtype == "run_meta":
+            trace.meta.update(record.get("meta") or {})
+    if not trace.meta:
+        trace.meta.update(tracer.meta)
+    return trace
 
 
 # ----------------------------------------------------------------------

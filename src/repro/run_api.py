@@ -74,6 +74,7 @@ def run(
     trace_out: Optional[str] = None,
     trace_format: str = "jsonl",
     tracer: Optional[Tracer] = None,
+    lens: bool = False,
     **algorithm_params,
 ) -> EngineResult:
     """Run one algorithm on one graph under one engine; return the result.
@@ -107,6 +108,11 @@ def run(
     tracer:
         An explicit :class:`repro.obs.Tracer` to instrument the run with
         (implies tracing; overrides ``trace``/``trace_out`` creation).
+    lens:
+        Enable the coherency lens (:mod:`repro.obs.lens`) on the lazy
+        engines: replica staleness/divergence probes and the
+        coherency-decision audit log. Off by default; requesting it on
+        an engine without replica laziness is a :class:`ConfigError`.
     """
     if trace_format not in TRACE_FORMATS:
         raise ConfigError(
@@ -147,6 +153,13 @@ def run(
         raise ConfigError(f"engine {engine!r} does not take an interval model")
     if "coherency_mode" in spec.options:
         kwargs["coherency_mode"] = coherency_mode
+    if "lens" in spec.options:
+        kwargs["lens"] = lens
+    elif lens:
+        raise ConfigError(
+            f"engine {engine!r} has no coherency lens (only the lazy "
+            f"engines defer replica coherency)"
+        )
     result = spec.cls(pgraph, program, **kwargs).run()
     if trace_out is not None and result.trace is not None:
         export_trace(result.trace, trace_out, trace_format)

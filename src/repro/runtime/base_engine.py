@@ -12,6 +12,7 @@ from repro.cluster.simulator import ClusterSim
 from repro.comms import ExchangePlane
 from repro.errors import ConvergenceError, EngineError
 from repro.kernels import KernelStats
+from repro.obs.lens import NULL_LENS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
@@ -72,6 +73,9 @@ class BaseEngine(abc.ABC):
             self.tracer.bind_stats(self.sim.stats)
         self.comms = ExchangePlane(self.sim, tracer=self.tracer)
         self.runtimes: List = list(self._make_runtimes())
+        # coherency lens (repro.obs.lens): the lazy engines swap in a
+        # real CoherencyLens when asked; everything else keeps the no-op
+        self.lens = NULL_LENS
 
     def _make_runtimes(self) -> Sequence:
         """Build per-machine runtime state (override for non-delta engines)."""
@@ -124,6 +128,8 @@ class BaseEngine(abc.ABC):
             self.sim.stats.extra[key] = val
         # per-channel ledgers ride along the same way (comms.<name>.*)
         self.comms.publish(self.sim.stats)
+        # final drift measurement + lens.* summary extras (no-op when off)
+        self.lens.finish(converged)
         if not converged:
             raise ConvergenceError(
                 f"{self.name}/{self.program.name} did not converge within "

@@ -109,3 +109,72 @@ class TestCommands:
              "--machines", "3"]
         )
         assert rc == 0
+
+
+class TestLensCli:
+    def _write_lens_trace(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "pagerank",
+             "--machines", "4", "--engine", "lazy-block", "--lens",
+             "--trace-out", str(path)]
+        )
+        assert rc == 0
+        return path
+
+    def test_run_lens_flag_rejected_on_eager_engine(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="lens"):
+            main(
+                ["run", "--graph", "road-ca-mini", "--algorithm",
+                 "pagerank", "--machines", "4", "--engine",
+                 "powergraph-sync", "--lens"]
+            )
+
+    def test_report_on_clean_lens_trace(self, capsys, tmp_path):
+        path = self._write_lens_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path), "--strict"]) == 0
+        captured = capsys.readouterr()
+        assert "WARNING" not in captured.err
+
+    def test_report_strict_exits_3_on_anomaly(self, capsys, tmp_path):
+        import json
+
+        path = self._write_lens_trace(tmp_path)
+        doctored = tmp_path / "doctored.trace.jsonl"
+        with open(path) as src, open(doctored, "w") as dst:
+            for line in src:
+                rec = json.loads(line)
+                if rec.get("name") == "lens-exchange":
+                    rec["attrs"]["mass_after"] = 99.0
+                dst.write(json.dumps(rec) + "\n")
+        capsys.readouterr()
+        assert main(["report", str(doctored)]) == 0  # warn-only by default
+        assert "pending-after-exchange" in capsys.readouterr().err
+        assert main(["report", str(doctored), "--strict"]) == 3
+
+    def test_report_warns_on_untracked_charges(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"type": "trace_header", "format": "repro-trace", "version": 1},
+            {"type": "run_meta", "meta": {
+                "engine": "x", "untracked_charges": {"comm": 0.5}}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert main(["report", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "NOT attributed" in err
+
+    def test_dashboard_command_writes_html(self, capsys, tmp_path):
+        path = self._write_lens_trace(tmp_path)
+        out = tmp_path / "run.html"
+        assert main(["dashboard", str(path), "-o", str(out)]) == 0
+        html_doc = out.read_text()
+        assert html_doc.startswith("<!DOCTYPE html>")
+        assert 'id="convergence"' in html_doc
+        assert 'id="machine-timeline"' in html_doc
+        assert "dashboard written" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Unit tests for the coherency lens (repro.obs.lens) and its hooks."""
+
+import numpy as np
+import pytest
+
+from repro.api.vertex_program import MIN_ALGEBRA, SUM_ALGEBRA
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.lens import (
+    CoherencyDecision,
+    CoherencyLens,
+    NULL_LENS,
+    NullLens,
+)
+from repro.run_api import run
+
+
+class TestDeltaMagnitude:
+    def test_sum_algebra_measures_absolute_mass(self):
+        assert SUM_ALGEBRA.magnitude([1.0, -2.5, 0.0]) == pytest.approx(3.5)
+
+    def test_min_algebra_counts_informative_entries(self):
+        # identity (+inf) entries carry no information
+        assert MIN_ALGEBRA.magnitude([np.inf, 3.0, np.inf, 0.0]) == 2.0
+
+    def test_empty_batch_is_zero(self):
+        assert SUM_ALGEBRA.magnitude([]) == 0.0
+        assert MIN_ALGEBRA.magnitude(np.empty(0)) == 0.0
+
+
+class TestNullLens:
+    def test_every_hook_is_a_noop(self):
+        lens = NullLens()
+        lens.begin_superstep(0)
+        lens.probe()
+        lens.on_staged(1.0)
+        lens.decision("turn_on_lazy", "adaptive", "lazy-on", trend=0.1)
+        lens.finish(True)
+        assert lens.enabled is False
+        assert NULL_LENS.enabled is False
+
+    def test_engines_default_to_null_lens(self):
+        from repro.core.lazy_block_async import LazyBlockAsyncEngine
+        from repro.core.transmission import build_lazy_graph
+        from repro.algorithms import make_program
+        from repro.graph.datasets import load_dataset
+
+        g = load_dataset("road-ca-mini")
+        pg = build_lazy_graph(g, 4, seed=0)
+        eng = LazyBlockAsyncEngine(pg, make_program("pagerank"))
+        assert eng.lens is NULL_LENS
+        assert eng.exchanger.lens is NULL_LENS
+
+
+class TestCoherencyDecision:
+    def test_to_record_flattens_inputs(self):
+        d = CoherencyDecision(3, "turn_on_lazy", "adaptive", "lazy-on",
+                              {"ev_ratio": 2.5, "trend": 0.1})
+        rec = d.to_record()
+        assert rec["superstep"] == 3
+        assert rec["kind"] == "turn_on_lazy"
+        assert rec["ev_ratio"] == 2.5
+
+
+def _lens_run(engine="lazy-block", algorithm="pagerank", tracer=None):
+    tracer = tracer or Tracer()
+    result = run("road-ca-mini", algorithm, engine=engine, machines=8,
+                 seed=0, tracer=tracer, lens=True)
+    return result, tracer
+
+
+class TestLensOnEngines:
+    def test_lens_summary_extras_published(self):
+        result, _ = _lens_run()
+        extra = result.stats.extra
+        assert extra["lens.decisions"] > 0
+        assert extra["lens.exchanges"] > 0
+        assert extra["lens.probes"] > 0
+        assert extra["lens.invariant_breaks"] == 0.0
+
+    def test_lens_metrics_registered(self):
+        result, _ = _lens_run()
+        metrics = result.stats.metrics
+        staleness = metrics.get("lens.staleness")
+        pending = metrics.get("lens.pending_mass")
+        assert staleness is not None and staleness.count > 0
+        assert pending is not None and pending.count > 0
+        # quantiles ride into the JSON dump
+        assert "p95" in metrics.export()["lens.pending_mass"]
+
+    def test_probe_instants_carry_divergence_fields(self):
+        _, tracer = _lens_run()
+        probes = tracer.instants("lens-probe")
+        assert probes
+        for p in probes:
+            attrs = p["attrs"]
+            assert {"superstep", "pending_mass", "pending_replicas",
+                    "staleness_max", "drift_max",
+                    "machine_mass"} <= set(attrs)
+            assert len(attrs["machine_mass"]) == 8
+
+    def test_channel_ledger_timeline_recorded(self):
+        _, tracer = _lens_run()
+        ledgers = tracer.instants("channel-ledger")
+        assert ledgers
+        # every open channel appears with cumulative byte counters
+        keys = set(ledgers[-1]["attrs"])
+        assert "control.bytes" in keys
+        assert any(k.startswith("delta_") and k.endswith(".bytes")
+                   for k in keys)
+
+    def test_decision_log_has_rule_inputs(self):
+        _, tracer = _lens_run()
+        decisions = tracer.instants("coherency-decision")
+        kinds = {d["attrs"]["kind"] for d in decisions}
+        assert "turn_on_lazy" in kinds
+        assert "coherency" in kinds
+        lazy = [d for d in decisions if d["attrs"]["kind"] == "turn_on_lazy"]
+        assert all("ev_ratio" in d["attrs"] and "trend" in d["attrs"]
+                   for d in lazy)
+        assert all(d["attrs"]["rule"] == "adaptive" for d in lazy)
+
+    def test_lazy_vertex_decisions_name_their_rule(self):
+        _, tracer = _lens_run(engine="lazy-vertex")
+        decisions = tracer.instants("coherency-decision")
+        rules = {d["attrs"]["rule"] for d in decisions}
+        assert rules <= {"max-delta-age", "idle-drain"}
+        assert "idle-drain" in rules  # the final drain always happens
+
+    def test_lens_works_without_tracer(self):
+        # metrics-only mode: NULL_TRACER suppresses instants, not gauges
+        result = run("road-ca-mini", "pagerank", engine="lazy-block",
+                     machines=8, seed=0, lens=True)
+        assert result.stats.extra["lens.probes"] > 0
+        assert result.trace is None
+
+    def test_lens_rejected_on_eager_engines(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="lens"):
+            run("road-ca-mini", "pagerank", engine="powergraph-sync",
+                machines=4, seed=0, lens=True)
+
+
+class TestDriftSampling:
+    def test_single_machine_has_no_replicas_to_sample(self):
+        from repro.core.transmission import build_lazy_graph
+        from repro.algorithms import make_program
+        from repro.graph.datasets import load_dataset
+        from repro.core.lazy_block_async import LazyBlockAsyncEngine
+
+        g = load_dataset("road-ca-mini")
+        pg = build_lazy_graph(g, 1, seed=0)
+        eng = LazyBlockAsyncEngine(pg, make_program("pagerank"), lens=True)
+        assert eng.lens.sample_drift() == 0.0
+        eng.run()
+        assert eng.lens.final_drift == 0.0
+
+    def test_sample_is_deterministic(self):
+        from repro.core.transmission import build_lazy_graph
+        from repro.algorithms import make_program
+        from repro.graph.datasets import load_dataset
+        from repro.core.lazy_block_async import LazyBlockAsyncEngine
+
+        g = load_dataset("road-ca-mini")
+        pg = build_lazy_graph(g, 8, seed=0)
+        a = LazyBlockAsyncEngine(pg, make_program("pagerank"), lens=True)
+        b = LazyBlockAsyncEngine(pg, make_program("pagerank"), lens=True)
+        gids_a, _ = a.lens._sample
+        gids_b, _ = b.lens._sample
+        assert np.array_equal(gids_a, gids_b)
+        assert gids_a.size > 0
+
+    def test_finish_is_idempotent(self):
+        result, tracer = _lens_run()
+        finals = tracer.instants("lens-final")
+        assert len(finals) == 1

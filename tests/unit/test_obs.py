@@ -133,6 +133,44 @@ class TestMetricsRegistry:
         assert exported["count"] == 4.0
         assert exported["le_1"] == 1.0
 
+    def test_histogram_weighted_observe(self):
+        h = Histogram("h", buckets=[2.0, 8.0])
+        h.observe(1.0, count=3)
+        h.observe(5.0, count=2)
+        assert h.count == 5
+        assert h.sum == pytest.approx(13.0)
+        assert h.bucket_counts == [3, 2, 0]
+        with pytest.raises(ValueError):
+            h.observe(1.0, count=0)
+
+    def test_histogram_quantiles_interpolate_buckets(self):
+        h = Histogram("h", buckets=[10.0, 20.0, 30.0])
+        for v in range(1, 21):  # uniform 1..20 over the first two buckets
+            h.observe(float(v))
+        exported = h.export()
+        # p50 lands at the first-bucket boundary, p95/p99 inside (10, 20]
+        assert exported["p50"] == pytest.approx(10.0, abs=1.0)
+        assert 10.0 < exported["p95"] <= 20.0
+        assert exported["p99"] > exported["p95"] - 1e-9
+        assert exported["p99"] <= 20.0
+
+    def test_histogram_quantiles_clamped_to_observed_range(self):
+        h = Histogram("h", buckets=[100.0])
+        h.observe(42.0)
+        # single observation: every quantile is that observation
+        assert h.quantile(0.5) == pytest.approx(42.0)
+        assert h.quantile(0.99) == pytest.approx(42.0)
+
+    def test_histogram_quantiles_edge_cases(self):
+        empty = Histogram("e", buckets=[1.0])
+        assert empty.quantile(0.5) == 0.0
+        bucketless = Histogram("b")
+        bucketless.observe(0.0)
+        bucketless.observe(10.0)
+        assert bucketless.quantile(0.5) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            bucketless.quantile(1.5)
+
     def test_registry_get_or_create(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")
