@@ -8,7 +8,7 @@ machine counts on one representative graph per class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.graph.datasets import dataset_info
@@ -78,6 +78,11 @@ class ExperimentConfig:
     coherency_mode: str = "dynamic"
     seed: int = 0
     lens: bool = False
+    #: Named coherency policy (see :func:`repro.policy_names`). When set
+    #: it wins over the legacy ``interval``/``coherency_mode`` fields;
+    #: ``policy_opts`` overlays ``--policy-opt``-style overrides.
+    policy: Optional[str] = None
+    policy_opts: Dict = field(default_factory=dict)
     params: Dict = field(default_factory=dict)
 
     def resolved_params(self) -> Dict:

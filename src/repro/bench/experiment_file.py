@@ -42,6 +42,8 @@ _ALLOWED_KEYS = {
     "partitioner",
     "interval",
     "coherency_mode",
+    "policy",
+    "policy_opts",
     "seed",
     "params",
 }
@@ -62,7 +64,10 @@ def _build_config(entry: Dict, defaults: Dict, index: int) -> ExperimentConfig:
     params = merged.pop("params", {})
     if not isinstance(params, dict):
         raise ConfigError(f"experiment #{index}: params must be an object")
-    return ExperimentConfig(params=params, **merged)
+    policy_opts = merged.pop("policy_opts", {})
+    if not isinstance(policy_opts, dict):
+        raise ConfigError(f"experiment #{index}: policy_opts must be an object")
+    return ExperimentConfig(params=params, policy_opts=policy_opts, **merged)
 
 
 def load_experiment_file(path: str) -> Tuple[str, List[ExperimentConfig]]:

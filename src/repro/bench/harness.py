@@ -17,7 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.bench.configs import ExperimentConfig
 from repro.cluster.network import NetworkModel
-from repro.core.interval_model import make_interval_model
+from repro.core.policy import get_policy, resolve_policy
 from repro.core.transmission import build_lazy_graph
 from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
@@ -92,6 +92,8 @@ def run_config(
         config.partitioner,
         config.interval,
         config.coherency_mode,
+        config.policy,
+        tuple(sorted(config.policy_opts.items())),
         config.seed,
         config.lens,
         tuple(sorted(config.resolved_params().items())),
@@ -115,10 +117,24 @@ def run_config(
     )
     timer.lap("partition")
     kwargs = {"network": network}
-    if "interval_model" in spec.options:
-        kwargs["interval_model"] = make_interval_model(config.interval)
-    if "coherency_mode" in spec.options:
-        kwargs["coherency_mode"] = config.coherency_mode
+    if "controller" in spec.options:
+        # a named policy wins over the legacy interval/coherency_mode
+        # fields; the harness resolves silently (no deprecation noise —
+        # the legacy fields are this dataclass's own defaults)
+        if config.policy is not None:
+            pol = get_policy(config.policy)
+            if config.policy_opts:
+                pol = pol.apply_opts(config.policy_opts)
+        else:
+            pol, _ = resolve_policy(
+                interval=config.interval,
+                coherency_mode=config.coherency_mode,
+                warn=False,
+            )
+        kwargs["controller"] = pol.make_controller()
+        kwargs["coherency_mode"] = pol.mode
+        if "max_delta_age" in spec.options:
+            kwargs["max_delta_age"] = pol.max_delta_age
     if config.lens:
         if "lens" not in spec.options:
             raise ConfigError(

@@ -25,8 +25,11 @@ from repro.bench.harness import compare_lazy_vs_sync
 from repro.bench.reporting import format_series, format_table
 from repro.graph.datasets import dataset_info, dataset_names, load_dataset
 from repro.graph.properties import compute_properties
+from repro.core.policy import get_policy, policy_names
 from repro.obs.sinks import TRACE_FORMATS
 from repro.run_api import ENGINE_NAMES, run
+
+POLICY_NAMES = policy_names()
 
 __all__ = ["main", "build_parser"]
 
@@ -61,9 +64,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one engine and print its stats")
     add_common(p_run)
     p_run.add_argument("--engine", default="lazy-block", choices=list(ENGINE_NAMES))
-    p_run.add_argument("--interval", choices=["adaptive", "simple", "never"])
     p_run.add_argument(
-        "--coherency-mode", default="dynamic", choices=["dynamic", "a2a", "m2m"]
+        "--policy", choices=list(POLICY_NAMES),
+        help="named coherency policy (controller + interval + wire mode "
+             "+ max_delta_age in one knob; lazy engines)",
+    )
+    p_run.add_argument(
+        "--policy-opt", action="append", metavar="K=V", default=[],
+        help="override one policy field or controller option, e.g. "
+             "--policy-opt max_delta_age=4 --policy-opt mass_floor=0.3 "
+             "(repeatable)",
+    )
+    p_run.add_argument(
+        "--interval", choices=["adaptive", "simple", "never"],
+        help="[deprecated: use --policy/--policy-opt interval=...] "
+             "interval model (lazy-block)",
+    )
+    p_run.add_argument(
+        "--coherency-mode", default=None, choices=["dynamic", "a2a", "m2m"],
+        help="[deprecated: use --policy-opt mode=...] wire protocol",
     )
     p_run.add_argument("--top", type=int, default=0, help="print top-N vertices")
     p_run.add_argument(
@@ -139,7 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
         "dashboard",
         help="render a recorded trace as a self-contained HTML dashboard",
     )
-    p_dash.add_argument("trace", help="trace file written by run --trace-out")
+    p_dash.add_argument(
+        "trace", nargs="?",
+        help="trace file written by run --trace-out",
+    )
+    p_dash.add_argument(
+        "--compare", nargs=2, metavar=("A", "B"),
+        help="overlay two traces (convergence, traffic, decision "
+             "timelines) instead of rendering one",
+    )
+    p_dash.add_argument(
+        "--labels", nargs=2, metavar=("LA", "LB"),
+        help="series labels for --compare (default: the file names)",
+    )
     p_dash.add_argument(
         "-o", "--out", default="run.html", help="output HTML path",
     )
@@ -159,6 +190,30 @@ def _algorithm_params(args) -> dict:
     return params
 
 
+def _coerce_opt(value: str):
+    """K=V values: int, then float, then the literal string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            pass
+    return value
+
+
+def _resolve_cli_policy(args):
+    """Build the run's CoherencyPolicy from --policy / --policy-opt."""
+    if not args.policy and not args.policy_opt:
+        return None
+    policy = get_policy(args.policy or "paper")
+    opts = {}
+    for item in args.policy_opt:
+        if "=" not in item:
+            raise SystemExit(f"--policy-opt expects K=V, got {item!r}")
+        key, _, value = item.partition("=")
+        opts[key] = _coerce_opt(value)
+    return policy.apply_opts(opts) if opts else policy
+
+
 def _cmd_run(args) -> int:
     kwargs = _algorithm_params(args)
     result = run(
@@ -169,6 +224,7 @@ def _cmd_run(args) -> int:
         partitioner=args.partitioner,
         interval=args.interval,
         coherency_mode=args.coherency_mode,
+        policy=_resolve_cli_policy(args),
         seed=args.seed,
         trace=getattr(args, "trace", False),
         trace_out=getattr(args, "trace_out", None),
@@ -395,11 +451,23 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_dashboard(args) -> int:
-    from repro.obs.dashboard import render_dashboard
+    from repro.obs.dashboard import render_compare_dashboard, render_dashboard
     from repro.obs.report import load_trace
 
-    trace = load_trace(args.trace)
-    html_doc = render_dashboard(trace)
+    if args.compare and args.trace:
+        print("dashboard: give either a trace or --compare, not both",
+              file=sys.stderr)
+        return 2
+    if args.compare:
+        labels = args.labels or [os.path.basename(p) for p in args.compare]
+        traces = [load_trace(p) for p in args.compare]
+        html_doc = render_compare_dashboard(traces, labels)
+    elif args.trace:
+        html_doc = render_dashboard(load_trace(args.trace))
+    else:
+        print("dashboard: a trace file or --compare A B is required",
+              file=sys.stderr)
+        return 2
     with open(args.out, "w", encoding="utf-8") as fh:
         fh.write(html_doc)
     print(f"dashboard written to {args.out} ({len(html_doc)} bytes)")

@@ -15,6 +15,11 @@ coherency points (paper §3). This package provides:
   and mirrors-to-master modes with the paper's §4.2.2 dynamic switch;
 * the adaptive interval model (§4.2.1) deciding when lazy mode turns on
   and how long a local stage may run;
+* the coherency-controller layer (:mod:`repro.core.policy`)
+  generalizing the interval model: pluggable
+  :class:`CoherencyController` strategies fed a per-superstep
+  :class:`CoherencySignals` snapshot, unified behind the
+  :class:`CoherencyPolicy` knob;
 * :func:`build_lazy_graph` — one-call partition + edge-split pipeline.
 """
 
@@ -28,6 +33,22 @@ from repro.core.interval_model import (
 )
 from repro.core.lazy_block_async import LazyBlockAsyncEngine
 from repro.core.lazy_vertex_async import LazyVertexAsyncEngine
+from repro.core.policy import (
+    BatchedController,
+    CoherencyController,
+    CoherencyPolicy,
+    CoherencySignals,
+    ExchangeDirective,
+    PaperRuleController,
+    SignalTap,
+    StalenessController,
+    controller_names,
+    get_policy,
+    make_controller,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
 from repro.core.transmission import build_lazy_graph
 
 __all__ = [
@@ -38,6 +59,20 @@ __all__ = [
     "SimpleIntervalModel",
     "NeverLazyModel",
     "make_interval_model",
+    "CoherencyController",
+    "CoherencyPolicy",
+    "CoherencySignals",
+    "ExchangeDirective",
+    "SignalTap",
+    "PaperRuleController",
+    "StalenessController",
+    "BatchedController",
+    "make_controller",
+    "controller_names",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "resolve_policy",
     "LazyBlockAsyncEngine",
     "LazyVertexAsyncEngine",
     "build_lazy_graph",

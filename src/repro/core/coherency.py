@@ -48,9 +48,20 @@ from repro.obs.tracer import NULL_TRACER
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
 
-__all__ = ["CoherencyExchanger", "ExchangeReport"]
+__all__ = ["CoherencyExchanger", "ExchangeReport", "no_participants"]
 
 ParticipantFn = Callable[[MachineRuntime], np.ndarray]
+
+
+def no_participants(rt: MachineRuntime) -> np.ndarray:
+    """Participant mask selecting nobody — a *deferred* exchange.
+
+    Coherency controllers that postpone a partial exchange still run the
+    exchanger with this mask so the empty-exchange bookkeeping (clearing
+    unreplicated vertices' deltas, sweeping subsumed deltas) happens
+    exactly as on a superstep where no replica came due.
+    """
+    return np.zeros(rt.mg.num_local_vertices, dtype=bool)
 
 
 @dataclass(frozen=True)

@@ -23,16 +23,21 @@ the graph's E/V ratio and the active-count trend.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.comms import Delivery
 from repro.core.coherency import CoherencyExchanger
-from repro.core.interval_model import (
-    AdaptiveIntervalModel,
-    IntervalModel,
+from repro.core.interval_model import IntervalModel
+from repro.core.policy import (
+    CoherencyController,
+    CoherencySignals,
+    PaperRuleController,
+    SignalTap,
 )
+from repro.errors import EngineError
 from repro.obs.lens import CoherencyLens
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.base_engine import BaseEngine
@@ -49,7 +54,14 @@ class LazyBlockAsyncEngine(BaseEngine):
     ----------
     interval_model:
         Strategy for ``turnOnLazy``/``doLC`` (default: the paper's
-        adaptive rule).
+        adaptive rule). Shorthand for
+        ``controller=PaperRuleController(interval_model)``; mutually
+        exclusive with ``controller``.
+    controller:
+        A :class:`~repro.core.policy.CoherencyController` deciding the
+        coherency points from the full :class:`CoherencySignals`
+        snapshot (default: the paper rule, bit-identical to the
+        pre-controller engine).
     coherency_mode:
         ``"dynamic"`` (paper default), ``"a2a"`` or ``"m2m"``.
     lens:
@@ -71,9 +83,22 @@ class LazyBlockAsyncEngine(BaseEngine):
         trace: bool = False,
         tracer=None,
         lens: bool = False,
+        controller: Optional[CoherencyController] = None,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
-        self.interval_model = interval_model or AdaptiveIntervalModel()
+        if controller is not None and interval_model is not None:
+            raise EngineError(
+                "pass either interval_model or controller, not both"
+            )
+        self.controller = controller or PaperRuleController(interval_model)
+        # kept for introspection/back-compat; None for controllers that
+        # do not wrap an interval model
+        self.interval_model = getattr(self.controller, "interval_model", None)
+        self._tap = (
+            SignalTap(self.runtimes, pgraph, program)
+            if self.controller.needs_signals
+            else None
+        )
         if lens:
             self.lens = CoherencyLens.for_engine(self)
         self.exchanger = CoherencyExchanger(
@@ -121,11 +146,12 @@ class LazyBlockAsyncEngine(BaseEngine):
                 iters += 1
                 if budget is None:
                     # doLC(): measure the stage's first micro-iteration online
-                    budget = self.interval_model.local_budget(seconds)
+                    budget = self.controller.local_budget(seconds)
                     self.lens.decision(
                         "local_budget",
-                        rule=self.interval_model.name,
+                        rule=self.controller.rule_name,
                         verdict="budget",
+                        controller=self.controller.name,
                         first_iteration_s=seconds,
                         budget_s=budget,
                     )
@@ -146,6 +172,8 @@ class LazyBlockAsyncEngine(BaseEngine):
 
         tracer = self.tracer
         lens = self.lens
+        controller = self.controller
+        tap = self._tap
         for step in range(self.max_supersteps):
             with tracer.span("superstep", category="superstep", superstep=step):
                 lens.begin_superstep(step)
@@ -156,6 +184,11 @@ class LazyBlockAsyncEngine(BaseEngine):
                 # pre-exchange reading: how much divergence did the local
                 # stage build up before this coherency point repairs it
                 lens.probe()
+                # extended controller signals must also read the
+                # *pre*-exchange state (the exchange clears the pending
+                # mass the controller is reasoning about); trend/active
+                # are patched in once known
+                ext = tap.read(step, ev_ratio, 0.0, 0) if tap else None
 
                 # ---- Stage 2: data coherency --------------------------
                 with tracer.span("coherency", category="phase") as sp:
@@ -182,7 +215,11 @@ class LazyBlockAsyncEngine(BaseEngine):
                     trend = (prev_active - active) / prev_active
                 else:
                     trend = 0.0
-                do_local = self.interval_model.turn_on_lazy(ev_ratio, trend)
+                if ext is not None:
+                    signals = replace(ext, trend=trend, active=active)
+                else:
+                    signals = CoherencySignals(step, ev_ratio, trend, active)
+                do_local = controller.turn_on_lazy(signals)
                 tracer.instant(
                     "interval-decision",
                     superstep=step, ev_ratio=ev_ratio, trend=trend,
@@ -190,11 +227,10 @@ class LazyBlockAsyncEngine(BaseEngine):
                 )
                 lens.decision(
                     "turn_on_lazy",
-                    rule=self.interval_model.name,
+                    rule=controller.rule_name,
                     verdict="lazy-on" if do_local else "lazy-off",
-                    ev_ratio=ev_ratio,
-                    trend=trend,
-                    active=active,
+                    controller=controller.name,
+                    **signals.as_inputs(),
                 )
                 prev_active = active
                 if self.trace:

@@ -28,7 +28,13 @@ from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.cluster.termination import TerminationDetector
 from repro.comms import Delivery
-from repro.core.coherency import CoherencyExchanger
+from repro.core.coherency import CoherencyExchanger, no_participants
+from repro.core.policy import (
+    CoherencyController,
+    CoherencySignals,
+    PaperRuleController,
+    SignalTap,
+)
 from repro.errors import EngineError
 from repro.obs.lens import CoherencyLens
 from repro.partition.partitioned_graph import PartitionedGraph
@@ -47,6 +53,12 @@ class LazyVertexAsyncEngine(BaseEngine):
         A replica's pending delta is exchanged once it is this many
         local rounds old. 1 = exchange every round (most coherent);
         larger values trade staleness for fewer exchanges.
+    controller:
+        A :class:`~repro.core.policy.CoherencyController` whose
+        ``partial_exchange`` directive can defer or widen each
+        superstep's partial exchange (default: the paper rule — every
+        due replica triggers its own exchange, bit-identical to the
+        pre-controller engine).
     lens:
         Enable the coherency lens (:mod:`repro.obs.lens`): staleness/
         divergence probes and the decision audit log. Off by default.
@@ -65,11 +77,18 @@ class LazyVertexAsyncEngine(BaseEngine):
         trace: bool = False,
         tracer=None,
         lens: bool = False,
+        controller: Optional[CoherencyController] = None,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
         if max_delta_age < 1:
             raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")
         self.max_delta_age = max_delta_age
+        self.controller = controller or PaperRuleController()
+        self._tap = (
+            SignalTap(self.runtimes, pgraph, program)
+            if self.controller.needs_signals
+            else None
+        )
         if lens:
             self.lens = CoherencyLens.for_engine(self)
         self.exchanger = CoherencyExchanger(
@@ -93,6 +112,9 @@ class LazyVertexAsyncEngine(BaseEngine):
 
         tracer = self.tracer
         lens = self.lens
+        controller = self.controller
+        tap = self._tap
+        ev_ratio = self.pgraph.graph.ev_ratio
         for step in range(self.max_supersteps):
             with tracer.span("superstep", category="superstep", superstep=step):
                 lens.begin_superstep(step)
@@ -120,21 +142,53 @@ class LazyVertexAsyncEngine(BaseEngine):
                     age[rt.has_delta] += 1
                     age[~rt.has_delta] = 0
 
-                def ready(rt: MachineRuntime, _ages=self._age) -> np.ndarray:
-                    return _ages[rt.mg.machine_id] >= self.max_delta_age
-
                 # pre-exchange reading: staleness ages + the pending mass
                 # the due replicas are about to ship
                 lens.probe()
 
                 idle = self._globally_idle()
+                due = None
+                directive = None
+                if not idle:
+                    # the controller decides this superstep's partial
+                    # exchange: execute at some due-age floor, or defer
+                    # and let the pending deltas keep coalescing
+                    if tap is not None:
+                        signals = tap.read(
+                            step, ev_ratio, 0.0,
+                            self._global_active_count(), ages=self._age,
+                        )
+                    else:
+                        signals = CoherencySignals(step, ev_ratio, 0.0, 0)
+                    directive = controller.partial_exchange(
+                        signals, self.max_delta_age
+                    )
+                    lens.decision(
+                        "partial_exchange",
+                        rule=directive.rule,
+                        verdict="exchange" if directive.execute else "defer",
+                        controller=controller.name,
+                        min_age=directive.min_age,
+                        **signals.as_inputs(),
+                    )
+                    if directive.execute:
+                        def due(rt: MachineRuntime, _ages=self._age,
+                                _m=directive.min_age) -> np.ndarray:
+                            return _ages[rt.mg.machine_id] >= _m
+
                 with tracer.span("partial-coherency", category="phase") as sp:
                     if idle:
                         # drain everything before concluding: a final full
                         # exchange may reactivate replicas
                         report = self.exchanger.exchange()
+                    elif due is not None:
+                        report = self.exchanger.exchange(participants=due)
                     else:
-                        report = self.exchanger.exchange(participants=ready)
+                        # deferred: no replica participates; the empty
+                        # path still sweeps unreplicated/subsumed deltas
+                        report = self.exchanger.exchange(
+                            participants=no_participants
+                        )
                     comm_seconds = self.exchanger.deliver(report)
                     if not report.empty:
                         sim.stats.coherency_points += 1
@@ -142,11 +196,13 @@ class LazyVertexAsyncEngine(BaseEngine):
                         # audit entry + invariant probe while the due mask
                         # still reflects pre-exchange ages: a full (idle)
                         # drain must clear everything, a partial exchange
-                        # the due replicas + unreplicated vertices
+                        # everything at/above the directive's age floor +
+                        # unreplicated vertices
                         lens.on_exchange(
                             report,
-                            due=None if idle else ready,
-                            rule="idle-drain" if idle else "max-delta-age",
+                            due=None if idle else due,
+                            rule="idle-drain" if idle else directive.rule,
+                            controller=controller.name,
                             max_delta_age=self.max_delta_age,
                         )
                         for rt, age in zip(self.runtimes, self._age):

@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.obs.audit import LensAuditor
 from repro.obs.report import TraceData
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_compare_dashboard"]
 
 # Palette: the validated reference instance (categorical slots in fixed
 # order, chrome inks, reserved status colors) — see docs/observability.md.
@@ -541,6 +541,147 @@ def _decision_section(trace: TraceData) -> str:
         '<section id="decisions"><h2>Coherency decisions</h2>'
         '<p class="section-note">audit-log verdict counts per decision '
         f'kind ({len(decisions)} entries)</p>{"".join(rows)}</section>'
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-run comparison (``repro dashboard --compare a.jsonl b.jsonl``)
+# ----------------------------------------------------------------------
+def _active_series(trace: TraceData) -> List[Tuple[float, float]]:
+    return [
+        (float(c.get("model_t", 0.0)), float(c.get("value", 0.0)))
+        for c in trace.counters
+        if c.get("name") == "active_vertices"
+    ]
+
+
+def _traffic_series(trace: TraceData) -> List[Tuple[float, float]]:
+    """Cumulative bytes over supersteps, summed across all channels."""
+    points: List[Tuple[float, float]] = []
+    for inst in trace.instants:
+        if inst.get("name") != "channel-ledger":
+            continue
+        a = inst.get("attrs") or {}
+        total = sum(
+            float(v) for k, v in a.items() if k.endswith(".bytes")
+        )
+        points.append((float(a.get("superstep", 0)), total))
+    return points
+
+
+def _decision_timeline(trace: TraceData) -> List[Tuple[float, float]]:
+    """Cumulative executed coherency points over supersteps."""
+    points: List[Tuple[float, float]] = []
+    count = 0
+    for inst in trace.instants:
+        if inst.get("name") != "coherency-decision":
+            continue
+        a = inst.get("attrs") or {}
+        if a.get("kind") != "coherency" or a.get("verdict") != "exchange":
+            continue
+        count += 1
+        points.append((float(a.get("superstep", 0)), float(count)))
+    return points
+
+
+def _compare_summary_section(
+    traces: Sequence[TraceData], labels: Sequence[str]
+) -> str:
+    keys = (
+        ("modeled_time_s", "modeled time", lambda v: f"{v:.4f}s"),
+        ("supersteps", "supersteps", lambda v: f"{int(v)}"),
+        ("coherency_points", "coherency points", lambda v: f"{int(v)}"),
+        ("global_syncs", "global syncs", lambda v: f"{int(v)}"),
+        ("comm_bytes", "traffic", lambda v: f"{v / 1e6:.3f}MB"),
+        ("comm_messages", "messages", lambda v: f"{int(v)}"),
+    )
+    blocks = []
+    for label, trace in zip(labels, traces):
+        stats = trace.stats
+        meta = trace.meta
+        tiles = []
+        for key, name, fmt in keys:
+            if key in stats:
+                tiles.append(
+                    f'<div class="tile"><div class="v">{_esc(fmt(stats[key]))}'
+                    f'</div><div class="k">{_esc(name)}</div></div>'
+                )
+        sub = (
+            f"{meta.get('engine', '?')} / {meta.get('algorithm', '?')} — "
+            f"{meta.get('machines', '?')} machines"
+        )
+        blocks.append(
+            f"<h2>{_esc(label)}</h2>"
+            f'<p class="section-note">{_esc(sub)}</p>'
+            f'<div class="tiles">{"".join(tiles)}</div>'
+        )
+    return (
+        "<h1>Run comparison</h1>"
+        f'<p class="sub">{_esc(labels[0])} vs {_esc(labels[1])}</p>'
+        f'<section id="compare-summary">{"".join(blocks)}</section>'
+    )
+
+
+def render_compare_dashboard(
+    traces: Sequence[TraceData],
+    labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Overlay two traces: convergence, traffic and decision timelines.
+
+    The A/B view behind ``repro dashboard --compare a.jsonl b.jsonl`` —
+    one self-contained HTML document (inline SVG/CSS, no scripts) with
+    both runs' series on shared axes, so a policy ablation reads off a
+    single page.
+    """
+    traces = list(traces)
+    if len(traces) != 2:
+        raise ValueError(
+            f"render_compare_dashboard takes exactly 2 traces, "
+            f"got {len(traces)}"
+        )
+    labels = [str(x) for x in (labels or ["run A", "run B"])]
+    convergence = _line_chart(
+        [(lbl, _active_series(t)) for lbl, t in zip(labels, traces)],
+        "modeled cluster time (s)",
+        "active vertices",
+        tooltip="{name} at t={x}s: {y}",
+    )
+    traffic = _line_chart(
+        [(lbl, _traffic_series(t)) for lbl, t in zip(labels, traces)],
+        "superstep",
+        "cumulative bytes (all channels)",
+        tooltip="{name} through superstep {x}: {y}B",
+    )
+    decisions = _line_chart(
+        [(lbl, _decision_timeline(t)) for lbl, t in zip(labels, traces)],
+        "superstep",
+        "executed coherency points",
+        tooltip="{name}: {y} exchanges by superstep {x}",
+    )
+    legend = _legend(labels)
+    body = "".join([
+        _compare_summary_section(traces, labels),
+        '<section id="convergence"><h2>Convergence</h2>'
+        '<p class="section-note">active-vertex count over modeled cluster '
+        "time, both runs</p>" + convergence + legend + "</section>",
+        '<section id="traffic"><h2>Traffic</h2>'
+        '<p class="section-note">cumulative exchange-plane bytes per '
+        "superstep (lens channel-ledger snapshots; empty for lens=False "
+        "traces)</p>" + traffic + legend + "</section>",
+        '<section id="decisions"><h2>Decision timeline</h2>'
+        '<p class="section-note">cumulative executed coherency exchanges '
+        "from the decision audit log</p>" + decisions + legend
+        + "</section>",
+    ])
+    doc_title = title or f"compare — {labels[0]} vs {labels[1]}"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<title>{_esc(doc_title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        f'<body class="viz-root">{body}</body></html>\n'
     )
 
 

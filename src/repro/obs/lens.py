@@ -147,6 +147,13 @@ class CoherencyLens:
     sample_size / seed:
         Deterministic master↔mirror drift sample: up to ``sample_size``
         replicated vertices drawn with a seeded generator.
+    rollup_after / rollup_every:
+        Trace-size rollup for long runs: past superstep ``rollup_after``
+        only every ``rollup_every``-th superstep emits the per-superstep
+        tracer instants (``lens-probe`` / ``channel-ledger``). Metrics
+        histograms and the decision audit log always stay complete —
+        only the instant *timeline* is sampled, so the LensAuditor's
+        decision/coherency reconciliation is unaffected.
     """
 
     enabled = True
@@ -161,6 +168,8 @@ class CoherencyLens:
         plane=None,
         sample_size: int = 32,
         seed: int = 0,
+        rollup_after: int = 10_000,
+        rollup_every: int = 100,
     ) -> None:
         from repro.obs.tracer import NULL_TRACER
 
@@ -175,6 +184,14 @@ class CoherencyLens:
         self.exchanges = 0
         self.probes = 0
         self.superstep = -1
+        if rollup_after < 0 or rollup_every < 1:
+            raise ValueError(
+                f"rollup_after must be >= 0 and rollup_every >= 1, got "
+                f"{rollup_after}/{rollup_every}"
+            )
+        self.rollup_after = rollup_after
+        self.rollup_every = rollup_every
+        self.rolled_up = 0  # probe instants suppressed by the rollup
         self.final_drift: Optional[float] = None
         self.invariant_breaks = 0
         # staleness ages: supersteps each replica's delta has been pending
@@ -328,6 +345,11 @@ class CoherencyLens:
             self.g_drift.set(drift)
         active = int(sum(rt.num_active for rt in self.runtimes))
         tracer = self.tracer
+        if tracer.enabled and not self._instants_due():
+            # rollup window: keep the timeline bounded on long runs
+            # (metrics above already accumulated this probe)
+            self.rolled_up += 1
+            return
         if tracer.enabled:
             tracer.counter("active_vertices", active)
             tracer.instant(
@@ -340,6 +362,14 @@ class CoherencyLens:
                 machine_mass=[float(m) for m in masses],
             )
         self._snapshot_channels()
+
+    def _instants_due(self) -> bool:
+        """Is this superstep inside the full-resolution window?"""
+        return (
+            self.superstep < self.rollup_after
+            or self.rollup_every == 1
+            or self.superstep % self.rollup_every == 0
+        )
 
     def _snapshot_channels(self) -> None:
         """Per-superstep per-channel ledger timeline (traffic vs decisions)."""
@@ -425,6 +455,7 @@ class CoherencyLens:
             self.stats.extra["lens.invariant_breaks"] = float(
                 self.invariant_breaks
             )
+            self.stats.extra["lens.rolled_up"] = float(self.rolled_up)
         if self.tracer.enabled:
             self.tracer.instant(
                 "lens-final",
@@ -436,4 +467,5 @@ class CoherencyLens:
                 ),
                 exchanges=self.exchanges,
                 invariant_breaks=self.invariant_breaks,
+                rolled_up=self.rolled_up,
             )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 __all__ = [
     "TraceData",
@@ -182,6 +182,22 @@ def summarize_trace(trace: TraceData) -> Dict[str, Any]:
         order.append("(untracked)")
     total_phase_s = sum(row["model_s"] for row in phases.values())
 
+    # histogram distributions (p50/p95/p99 ride in Histogram.export())
+    distributions: List[Dict[str, Any]] = []
+    for name in sorted(trace.stats.get("metrics") or {}):
+        export = (trace.stats.get("metrics") or {}).get(name)
+        if not isinstance(export, dict) or "p50" not in export:
+            continue  # gauges/counters have no quantiles
+        distributions.append({
+            "name": name,
+            "count": export.get("count", 0),
+            "mean": export.get("mean", 0.0),
+            "p50": export.get("p50", 0.0),
+            "p95": export.get("p95", 0.0),
+            "p99": export.get("p99", 0.0),
+            "max": export.get("max", 0.0),
+        })
+
     decisions = [
         i for i in trace.instants if i.get("name") == "interval-decision"
     ]
@@ -198,6 +214,7 @@ def summarize_trace(trace: TraceData) -> Dict[str, Any]:
         "phases": [{"name": n, **phases[n]} for n in order],
         "total_phase_s": total_phase_s,
         "totals": trace.stats,
+        "distributions": distributions,
         "decisions": {
             "total": len(decisions),
             "lazy_on": lazy_on,
@@ -254,6 +271,21 @@ def format_report(summary: Dict[str, Any]) -> str:
                 total_rows.append([label, value])
         lines.append(format_table(
             ["metric", "value"], total_rows, title="run totals (RunStats)",
+        ))
+
+    distributions = summary.get("distributions") or []
+    if distributions:
+        dist_rows = []
+        for d in distributions:
+            dist_rows.append([
+                d["name"], int(d["count"]), round(float(d["mean"]), 4),
+                round(float(d["p50"]), 4), round(float(d["p95"]), 4),
+                round(float(d["p99"]), 4), round(float(d["max"]), 4),
+            ])
+        lines.append(format_table(
+            ["metric", "count", "mean", "p50", "p95", "p99", "max"],
+            dist_rows,
+            title="distributions (staleness / exchange mass quantiles)",
         ))
 
     decisions = summary["decisions"]

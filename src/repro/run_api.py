@@ -13,7 +13,8 @@ from typing import Optional, Union
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
-from repro.core.interval_model import IntervalModel, make_interval_model
+from repro.core.interval_model import IntervalModel
+from repro.core.policy import CoherencyPolicy, resolve_policy
 from repro.core.transmission import build_lazy_graph
 from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
@@ -65,7 +66,8 @@ def run(
     machines: int = 48,
     partitioner: str = "coordinated",
     interval: Union[str, IntervalModel, None] = None,
-    coherency_mode: str = "dynamic",
+    coherency_mode: Optional[str] = None,
+    policy: Union[str, CoherencyPolicy, None] = None,
     split: Optional[EdgeSplitConfig] = None,
     network: Optional[NetworkModel] = None,
     seed: int = 0,
@@ -94,10 +96,19 @@ def run(
     engine:
         One of :data:`ENGINE_NAMES` (the engine registry,
         :mod:`repro.runtime.registry`).
+    policy:
+        The coherency policy: a registered name
+        (:func:`repro.policy_names` — ``"paper"``, ``"staleness"``,
+        ``"batched"``, …) or a :class:`~repro.core.policy.CoherencyPolicy`
+        instance. Collapses the controller choice, interval model, wire
+        mode and ``max_delta_age`` into one value; lazy engines only.
+        Default: the ``"paper"`` policy (bit-identical to the paper's
+        rule).
     interval:
-        Interval-model name or instance (lazy-block only; default the
-        paper's adaptive rule).
+        .. deprecated:: Use ``policy=CoherencyPolicy(interval=...)``.
+        Interval-model name or instance (lazy-block only).
     coherency_mode:
+        .. deprecated:: Use ``policy`` (``CoherencyPolicy(mode=...)``).
         ``dynamic`` / ``a2a`` / ``m2m`` (lazy engines only).
     split:
         Edge-splitter configuration enabling parallel-edges; ``None``
@@ -145,14 +156,17 @@ def run(
     kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
     if tracer is not None:
         kwargs["tracer"] = tracer
-    if "interval_model" in spec.options:
-        if interval is not None and not isinstance(interval, IntervalModel):
-            interval = make_interval_model(interval)
-        kwargs["interval_model"] = interval
-    elif interval is not None:
-        raise ConfigError(f"engine {engine!r} does not take an interval model")
-    if "coherency_mode" in spec.options:
-        kwargs["coherency_mode"] = coherency_mode
+    pol, explicit = resolve_policy(policy, interval, coherency_mode)
+    if "controller" in spec.options:
+        kwargs["controller"] = pol.make_controller()
+        kwargs["coherency_mode"] = pol.mode
+        if "max_delta_age" in spec.options:
+            kwargs["max_delta_age"] = pol.max_delta_age
+    elif explicit:
+        raise ConfigError(
+            f"engine {engine!r} does not take an interval model / "
+            f"coherency policy (replicas are eagerly coherent)"
+        )
     if "lens" in spec.options:
         kwargs["lens"] = lens
     elif lens:

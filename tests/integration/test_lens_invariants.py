@@ -13,7 +13,9 @@ These are the invariants that must hold on every clean run:
 * the :class:`~repro.obs.audit.LensAuditor` finds nothing to flag.
 
 Parametrized over both lazy engines × two algorithms with different
-delta algebras (pagerank: SUM, cc: MIN) per the acceptance criteria.
+delta algebras (pagerank: SUM, cc: MIN) per the acceptance criteria,
+plus the signal-driven coherency controllers (``staleness``,
+``batched``) — deferring exchanges must never break the invariants.
 """
 
 import pytest
@@ -25,17 +27,22 @@ from repro.run_api import run
 
 ENGINES = ["lazy-block", "lazy-vertex"]
 ALGORITHMS = ["pagerank", "cc"]
+MATRIX = [(e, a, "paper") for e in ENGINES for a in ALGORITHMS] + [
+    ("lazy-vertex", "pagerank", "staleness"),
+    ("lazy-vertex", "pagerank", "batched"),
+    ("lazy-vertex", "cc", "batched"),
+    ("lazy-block", "pagerank", "staleness"),
+]
 
 
-@pytest.fixture(scope="module", params=[
-    (e, a) for e in ENGINES for a in ALGORITHMS
-], ids=lambda p: f"{p[0]}-{p[1]}")
+@pytest.fixture(scope="module", params=MATRIX,
+                ids=lambda p: f"{p[0]}-{p[1]}-{p[2]}")
 def lens_run(request):
-    engine, algorithm = request.param
+    engine, algorithm, policy = request.param
     tracer = Tracer()
     result = run("road-ca-mini", algorithm, engine=engine, machines=8,
-                 seed=0, tracer=tracer, lens=True)
-    return engine, algorithm, result, tracer
+                 seed=0, policy=policy, tracer=tracer, lens=True)
+    return engine, algorithm, policy, result, tracer
 
 
 class TestLensInvariants:
@@ -75,10 +82,10 @@ class TestLensInvariants:
         assert len(probes) >= result.stats.supersteps
 
     def test_lens_does_not_change_the_answer(self, lens_run):
-        engine, algorithm, result, _ = lens_run
+        engine, algorithm, policy, result, _ = lens_run
         # same config without the lens: identical protocol counters
         bare = run("road-ca-mini", algorithm, engine=engine, machines=8,
-                   seed=0)
+                   seed=0, policy=policy)
         assert bare.stats.supersteps == result.stats.supersteps
         assert bare.stats.coherency_points == result.stats.coherency_points
         assert bare.stats.comm_messages == result.stats.comm_messages

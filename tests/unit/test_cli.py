@@ -178,3 +178,122 @@ class TestLensCli:
         assert 'id="convergence"' in html_doc
         assert 'id="machine-timeline"' in html_doc
         assert "dashboard written" in capsys.readouterr().out
+
+
+class TestPolicyCli:
+    def test_run_with_named_policy(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "pagerank",
+             "--machines", "4", "--engine", "lazy-vertex",
+             "--policy", "batched"]
+        )
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_run_with_policy_opts(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "pagerank",
+             "--machines", "4", "--engine", "lazy-vertex",
+             "--policy", "staleness", "--policy-opt", "mass_floor=0.3",
+             "--policy-opt", "max_delta_age=4"]
+        )
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_policy_opt_alone_implies_paper_policy(self, capsys):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "cc",
+             "--machines", "4", "--engine", "lazy-vertex",
+             "--policy-opt", "max_delta_age=2"]
+        )
+        assert rc == 0
+
+    def test_malformed_policy_opt_rejected(self):
+        with pytest.raises(SystemExit, match="K=V"):
+            main(
+                ["run", "--graph", "road-ca-mini", "--algorithm", "cc",
+                 "--machines", "4", "--engine", "lazy-vertex",
+                 "--policy-opt", "max_delta_age"]
+            )
+
+    def test_unknown_policy_name_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--graph", "g", "--algorithm", "cc",
+                 "--policy", "bogus"]
+            )
+
+    def test_deprecated_interval_flag_warns(self):
+        with pytest.warns(DeprecationWarning, match="interval"):
+            rc = main(
+                ["run", "--graph", "road-ca-mini", "--algorithm",
+                 "pagerank", "--machines", "4", "--engine", "lazy-block",
+                 "--interval", "simple"]
+            )
+        assert rc == 0
+
+    def test_policy_rejected_on_eager_engine(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="interval"):
+            main(
+                ["run", "--graph", "road-ca-mini", "--algorithm",
+                 "pagerank", "--machines", "4", "--engine",
+                 "powergraph-sync", "--policy", "paper"]
+            )
+
+
+class TestDashboardCompare:
+    def _trace(self, tmp_path, policy, name):
+        path = tmp_path / name
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm", "pagerank",
+             "--machines", "4", "--engine", "lazy-vertex", "--lens",
+             "--policy", policy, "--trace-out", str(path)]
+        )
+        assert rc == 0
+        return path
+
+    def test_compare_two_traces(self, capsys, tmp_path):
+        a = self._trace(tmp_path, "paper", "a.jsonl")
+        b = self._trace(tmp_path, "batched", "b.jsonl")
+        out = tmp_path / "cmp.html"
+        capsys.readouterr()
+        assert main(
+            ["dashboard", "--compare", str(a), str(b), "-o", str(out)]
+        ) == 0
+        html_doc = out.read_text()
+        assert html_doc.startswith("<!DOCTYPE html>")
+        assert 'id="compare-summary"' in html_doc
+        assert 'id="convergence"' in html_doc
+        assert 'id="traffic"' in html_doc
+        assert 'id="decisions"' in html_doc
+        # default labels are the trace file names
+        assert "a.jsonl" in html_doc and "b.jsonl" in html_doc
+        # still fully offline: no scripts, stylesheets or CDNs
+        assert "<script" not in html_doc
+        assert "http://" not in html_doc and "https://" not in html_doc
+        assert "<link" not in html_doc
+        assert "dashboard written" in capsys.readouterr().out
+
+    def test_compare_custom_labels(self, tmp_path):
+        a = self._trace(tmp_path, "paper", "a.jsonl")
+        b = self._trace(tmp_path, "staleness", "b.jsonl")
+        out = tmp_path / "cmp.html"
+        assert main(
+            ["dashboard", "--compare", str(a), str(b),
+             "--labels", "baseline", "candidate", "-o", str(out)]
+        ) == 0
+        html_doc = out.read_text()
+        assert "baseline" in html_doc and "candidate" in html_doc
+
+    def test_trace_and_compare_together_rejected(self, capsys, tmp_path):
+        a = self._trace(tmp_path, "paper", "a.jsonl")
+        assert main(
+            ["dashboard", str(a), "--compare", str(a), str(a)]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_trace_nor_compare_rejected(self, capsys):
+        assert main(["dashboard"]) == 2
+        assert "required" in capsys.readouterr().err

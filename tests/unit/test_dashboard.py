@@ -122,3 +122,53 @@ class TestLensAuditor:
     def test_non_lens_trace_skips_lens_only_checks(self):
         trace = TraceData(meta={"stats": {"coherency_points": 5}})
         assert LensAuditor(trace).audit() == []
+
+
+class TestCompareDashboard:
+    @pytest.fixture(scope="class")
+    def two_traces(self):
+        traces = []
+        for policy in ("paper", "batched"):
+            tracer = Tracer()
+            run("road-ca-mini", "pagerank", engine="lazy-vertex",
+                machines=4, seed=0, policy=policy, tracer=tracer, lens=True)
+            traces.append(trace_from_tracer(tracer))
+        return traces
+
+    def test_overlay_sections_present(self, two_traces):
+        from repro.obs.dashboard import render_compare_dashboard
+
+        html = render_compare_dashboard(two_traces, ["base", "cand"])
+        assert 'id="compare-summary"' in html
+        assert 'id="convergence"' in html
+        assert 'id="traffic"' in html
+        assert 'id="decisions"' in html
+        assert "base" in html and "cand" in html
+        # both runs' coherency-point counts land in the summary tiles
+        for trace in two_traces:
+            assert str(trace.stats["coherency_points"]) in html
+
+    def test_self_contained_like_the_single_run_dashboard(self, two_traces):
+        from repro.obs.dashboard import render_compare_dashboard
+
+        html = render_compare_dashboard(two_traces)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert "<link" not in html
+
+    def test_requires_exactly_two_traces(self, two_traces):
+        from repro.obs.dashboard import render_compare_dashboard
+
+        with pytest.raises(ValueError, match="2 traces"):
+            render_compare_dashboard(two_traces[:1])
+        with pytest.raises(ValueError, match="2 traces"):
+            render_compare_dashboard(two_traces + two_traces[:1])
+
+    def test_labels_are_escaped(self, two_traces):
+        from repro.obs.dashboard import render_compare_dashboard
+
+        html = render_compare_dashboard(
+            two_traces, ["<script>alert(1)</script>", "b"]
+        )
+        assert "<script>alert" not in html

@@ -83,3 +83,37 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "study: smoke" in out
         assert "powergraph-sync" in out
+
+
+class TestPolicyFields:
+    def test_policy_and_opts_accepted(self, tmp_path):
+        doc = {
+            "experiments": [{
+                "graph": "road-ca-mini", "algorithm": "pagerank",
+                "engine": "lazy-vertex", "machines": 4,
+                "policy": "staleness", "policy_opts": {"mass_floor": 0.3},
+            }],
+        }
+        _, configs = load_experiment_file(write(tmp_path, doc))
+        assert configs[0].policy == "staleness"
+        assert configs[0].policy_opts == {"mass_floor": 0.3}
+        _, results = run_experiment_file(write(tmp_path, doc))
+        assert results[0][1].stats.converged
+
+    def test_policy_opts_must_be_object(self, tmp_path):
+        doc = {"experiments": [{
+            "graph": "g", "algorithm": "cc", "policy_opts": 3,
+        }]}
+        with pytest.raises(ConfigError, match="policy_opts"):
+            load_experiment_file(write(tmp_path, doc))
+
+    def test_named_policy_drives_the_harness(self, tmp_path):
+        from repro.bench.configs import ExperimentConfig
+        from repro.bench.harness import run_config
+
+        base = dict(graph="road-ca-mini", algorithm="pagerank",
+                    engine="lazy-vertex", machines=4)
+        paper = run_config(ExperimentConfig(**base))
+        batched = run_config(ExperimentConfig(policy="batched", **base))
+        # the batched controller coalesces partial exchanges
+        assert batched.stats.coherency_points < paper.stats.coherency_points

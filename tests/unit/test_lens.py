@@ -174,3 +174,73 @@ class TestDriftSampling:
         result, tracer = _lens_run()
         finals = tracer.instants("lens-final")
         assert len(finals) == 1
+
+
+class TestTraceRollup:
+    """Long-run trace rollup: past ``rollup_after`` only every k-th
+    superstep emits the per-superstep instants; metrics and the decision
+    audit log always stay complete."""
+
+    def _fresh_lens(self, tracer, **kwargs):
+        from repro.algorithms import make_program
+        from repro.core.transmission import build_lazy_graph
+        from repro.graph.datasets import load_dataset
+        from repro.runtime.machine_runtime import MachineRuntime
+
+        g = load_dataset("road-ca-mini")
+        pg = build_lazy_graph(g, 2, seed=0)
+        prog = make_program("pagerank")
+        rts = [MachineRuntime(mg, prog) for mg in pg.machines]
+        return CoherencyLens(rts, pg, prog, tracer=tracer, **kwargs)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="rollup"):
+            self._fresh_lens(None, rollup_after=-1)
+        with pytest.raises(ValueError, match="rollup"):
+            self._fresh_lens(None, rollup_every=0)
+
+    def test_instants_sampled_past_the_threshold(self):
+        tracer = Tracer()
+        lens = self._fresh_lens(tracer, rollup_after=5, rollup_every=3)
+        for step in range(20):
+            lens.begin_superstep(step)
+            lens.probe()
+        lens.finish(True)
+        probes = tracer.instants("lens-probe")
+        # full resolution below 5, then steps 6, 9, 12, 15, 18
+        assert [p["attrs"]["superstep"] for p in probes] == [
+            0, 1, 2, 3, 4, 6, 9, 12, 15, 18,
+        ]
+        assert lens.rolled_up == 10
+        assert lens.probes == 20  # the probe *counter* is never sampled
+        finals = tracer.instants("lens-final")
+        assert finals[0]["attrs"]["rolled_up"] == 10
+
+    def test_metrics_complete_under_rollup(self):
+        tracer = Tracer()
+        lens = self._fresh_lens(tracer, rollup_after=0, rollup_every=100)
+        rt = lens.runtimes[0]
+        rt.delta_msg[:2] = 1.0
+        rt.has_delta[:2] = True
+        for step in range(10):
+            lens.begin_superstep(step)
+            lens.probe()
+        # one probe instant (superstep 0) but every probe hit the gauges
+        assert len(tracer.instants("lens-probe")) == 1
+        assert lens.probes == 10
+
+    def test_decision_log_never_sampled(self):
+        tracer = Tracer()
+        lens = self._fresh_lens(tracer, rollup_after=0, rollup_every=50)
+        for step in range(8):
+            lens.begin_superstep(step)
+            lens.probe()
+            lens.decision("turn_on_lazy", "adaptive", "lazy-on", trend=0.0)
+        decisions = tracer.instants("coherency-decision")
+        assert len(decisions) == 8  # auditor soundness: log stays complete
+
+    def test_default_runs_are_unaffected(self):
+        result, tracer = _lens_run(engine="lazy-vertex")
+        # mini workloads never reach the default threshold
+        assert result.stats.extra["lens.rolled_up"] == 0.0
+        assert len(tracer.instants("lens-probe")) >= result.stats.supersteps

@@ -308,3 +308,47 @@ class TestChromeTraceSinkDirect:
         assert not path.exists()  # nothing written mid-run
         t.finish()
         assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestReportDistributions:
+    """Histogram quantiles (p50/p95/p99) surface in the trace report."""
+
+    def test_histogram_exports_summarized(self):
+        from repro.obs.report import TraceData, format_report
+
+        trace = TraceData(meta={"stats": {"metrics": {
+            "lens.staleness": {
+                "count": 10, "mean": 2.0, "p50": 1.0,
+                "p95": 4.0, "p99": 6.0, "max": 8.0,
+            },
+            "lens.drift_max": 0.5,  # gauge: no quantiles to report
+        }}})
+        summary = summarize_trace(trace)
+        dists = summary["distributions"]
+        assert [d["name"] for d in dists] == ["lens.staleness"]
+        assert dists[0]["p95"] == 4.0 and dists[0]["count"] == 10
+        text = format_report(summary)
+        assert "distributions" in text
+        assert "p95" in text and "lens.staleness" in text
+
+    def test_no_histograms_no_section(self):
+        from repro.obs.report import TraceData, format_report
+
+        trace = TraceData(meta={"stats": {"metrics": {"gauge_only": 1.0}}})
+        summary = summarize_trace(trace)
+        assert summary["distributions"] == []
+        assert "distributions" not in format_report(summary)
+
+    def test_lens_run_report_carries_quantiles(self):
+        from repro.obs.report import trace_from_tracer
+        from repro.run_api import run
+
+        tracer = Tracer()
+        run("road-ca-mini", "pagerank", engine="lazy-vertex", machines=4,
+            seed=0, tracer=tracer, lens=True)
+        summary = summarize_trace(trace_from_tracer(tracer))
+        names = {d["name"] for d in summary["distributions"]}
+        assert "lens.staleness" in names
+        assert "lens.pending_mass" in names
+        for d in summary["distributions"]:
+            assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"]

@@ -1,0 +1,357 @@
+"""Unit tests for the coherency-controller layer (repro.core.policy)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.policy as policy_mod
+from repro.core.interval_model import AdaptiveIntervalModel, NeverLazyModel
+from repro.core.policy import (
+    BatchedController,
+    CoherencyPolicy,
+    CoherencySignals,
+    ExchangeDirective,
+    PaperRuleController,
+    SignalTap,
+    StalenessController,
+    controller_names,
+    get_policy,
+    make_controller,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
+from repro.errors import ConfigError
+
+
+def _signals(**overrides):
+    base = dict(superstep=0, ev_ratio=2.0, trend=0.0, active=10)
+    base.update(overrides)
+    return CoherencySignals(**base)
+
+
+class TestCoherencySignals:
+    def test_as_inputs_is_flat_and_complete(self):
+        s = _signals(pending_mass=3.5, staleness_max=2)
+        inputs = s.as_inputs()
+        assert inputs["ev_ratio"] == 2.0
+        assert inputs["pending_mass"] == 3.5
+        assert inputs["staleness_max"] == 2
+        assert set(inputs) == {
+            "ev_ratio", "trend", "active", "pending_mass",
+            "pending_replicas", "staleness_max", "drift_sample",
+        }
+
+    def test_extended_signals_default_to_zero(self):
+        s = _signals()
+        assert s.pending_mass == 0.0
+        assert s.pending_replicas == 0
+        assert s.staleness_max == 0
+
+
+class TestPaperRuleController:
+    def test_delegates_to_the_interval_model(self):
+        c = PaperRuleController()
+        assert isinstance(c.interval_model, AdaptiveIntervalModel)
+        assert c.rule_name == "adaptive"
+        assert c.needs_signals is False
+        # the paper rule: E/V <= 10 turns lazy mode on
+        assert c.turn_on_lazy(_signals(ev_ratio=2.0)) is True
+        assert c.turn_on_lazy(_signals(ev_ratio=50.0, trend=0.0)) is False
+
+    def test_default_partial_exchange_is_the_age_trigger(self):
+        d = PaperRuleController().partial_exchange(_signals(), 3)
+        assert d == ExchangeDirective(True, 3, "max-delta-age")
+
+    def test_custom_interval_model_names_the_rule(self):
+        c = PaperRuleController(NeverLazyModel())
+        assert c.rule_name == "never"
+        assert c.turn_on_lazy(_signals(ev_ratio=1.0)) is False
+
+
+class TestStalenessController:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError, match="mass_floor"):
+            StalenessController(mass_floor=0.0)
+        with pytest.raises(ConfigError, match="mass_floor"):
+            StalenessController(mass_floor=1.5)
+        with pytest.raises(ConfigError, match="age_cap_factor"):
+            StalenessController(age_cap_factor=0.5)
+
+    def test_defers_while_mass_decays_from_its_peak(self):
+        c = StalenessController(mass_floor=0.5)
+        # rising mass: exchanges proceed on the normal age trigger
+        d = c.partial_exchange(_signals(pending_mass=100.0), 3)
+        assert d.execute and d.rule == "mass-due"
+        # mass fell below half the peak: defer, let deltas coalesce
+        d = c.partial_exchange(_signals(pending_mass=10.0), 3)
+        assert not d.execute and d.rule == "mass-decaying"
+
+    def test_age_cap_forces_a_coalesced_exchange(self):
+        c = StalenessController(mass_floor=0.5, age_cap_factor=2.0)
+        c.partial_exchange(_signals(pending_mass=100.0), 3)
+        d = c.partial_exchange(
+            _signals(pending_mass=10.0, staleness_max=6), 3
+        )
+        assert d.execute and d.min_age == 1 and d.rule == "staleness-cap"
+
+    def test_keeps_lazy_mode_on_through_the_decay_phase(self):
+        c = StalenessController()
+        # E/V too high for the paper rule alone...
+        dense = _signals(ev_ratio=50.0, trend=0.0, pending_mass=100.0)
+        assert c.turn_on_lazy(dense) is False
+        # ...but the decaying mass keeps laziness on
+        decay = _signals(ev_ratio=50.0, trend=0.0, pending_mass=10.0)
+        assert c.turn_on_lazy(decay) is True
+
+    def test_requests_the_extended_signals(self):
+        assert StalenessController.needs_signals is True
+
+
+class TestBatchedController:
+    def test_accumulates_until_the_oldest_delta_is_due(self):
+        c = BatchedController()
+        d = c.partial_exchange(_signals(staleness_max=2), 3)
+        assert not d.execute and d.rule == "batch-accumulate"
+        d = c.partial_exchange(_signals(staleness_max=3), 3)
+        assert d.execute and d.min_age == 1 and d.rule == "batched-coalesce"
+
+    def test_turn_on_lazy_falls_back_to_the_paper_rule(self):
+        c = BatchedController()
+        assert c.turn_on_lazy(_signals(ev_ratio=2.0)) is True
+        assert c.turn_on_lazy(_signals(ev_ratio=50.0, trend=0.0)) is False
+
+
+class TestMakeController:
+    def test_round_trip_by_name(self):
+        assert set(controller_names()) == {"paper", "staleness", "batched"}
+        for name in controller_names():
+            c = make_controller(name)
+            assert c.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown coherency controller"):
+            make_controller("bogus")
+
+    def test_unknown_options_rejected(self):
+        with pytest.raises(ConfigError, match="rejected options"):
+            make_controller("paper", nonsense=1.0)
+
+    def test_options_forwarded(self):
+        c = make_controller("staleness", mass_floor=0.25)
+        assert c.mass_floor == 0.25
+
+
+class TestCoherencyPolicy:
+    def test_defaults_mirror_the_paper(self):
+        pol = CoherencyPolicy()
+        assert (pol.controller, pol.interval, pol.mode, pol.max_delta_age) \
+            == ("paper", "adaptive", "dynamic", 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="controller"):
+            CoherencyPolicy(controller="bogus")
+        with pytest.raises(ConfigError, match="mode"):
+            CoherencyPolicy(mode="carrier-pigeon")
+        with pytest.raises(ConfigError, match="max_delta_age"):
+            CoherencyPolicy(max_delta_age=0)
+
+    def test_is_hashable(self):
+        assert hash(CoherencyPolicy()) == hash(CoherencyPolicy())
+        assert CoherencyPolicy() != CoherencyPolicy(controller="batched")
+
+    def test_make_controller_is_fresh_per_call(self):
+        pol = CoherencyPolicy(controller="staleness")
+        a, b = pol.make_controller(), pol.make_controller()
+        assert a is not b  # controllers are stateful (running peaks)
+        assert isinstance(a, StalenessController)
+
+    def test_options_reach_the_controller(self):
+        pol = CoherencyPolicy(
+            controller="staleness", options=(("mass_floor", 0.3),)
+        )
+        assert pol.make_controller().mass_floor == 0.3
+
+    def test_apply_opts_routes_fields_and_options(self):
+        pol = get_policy("staleness").apply_opts({
+            "max_delta_age": 5, "mode": "a2a", "mass_floor": 0.25,
+        })
+        assert pol.max_delta_age == 5
+        assert pol.mode == "a2a"
+        assert dict(pol.options)["mass_floor"] == 0.25
+        # the original registered policy is untouched (frozen dataclass)
+        assert get_policy("staleness").max_delta_age == 3
+
+    def test_apply_opts_rejects_non_numeric_controller_options(self):
+        with pytest.raises(ConfigError, match="numeric"):
+            CoherencyPolicy().apply_opts({"mass_floor": "lots"})
+
+    def test_to_dict_round_trips_names(self):
+        pol = CoherencyPolicy(controller="batched", max_delta_age=4)
+        d = pol.to_dict()
+        assert d["controller"] == "batched"
+        assert d["max_delta_age"] == 4
+        assert CoherencyPolicy(**{**d, "options": tuple()}) is not None
+
+
+class TestPolicyRegistry:
+    def test_builtin_vocabulary(self):
+        assert {"paper", "simple", "never", "staleness", "batched"} <= set(
+            policy_names()
+        )
+        assert get_policy("never").interval == "never"
+        assert get_policy("batched").controller == "batched"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown coherency policy"):
+            get_policy("bogus")
+
+    def test_register_round_trip(self):
+        name = "test-policy-tmp"
+        try:
+            pol = register_policy(name, CoherencyPolicy(max_delta_age=7))
+            assert get_policy(name) is pol
+            assert name in policy_names()
+            with pytest.raises(ConfigError, match="already registered"):
+                register_policy(name, CoherencyPolicy())
+        finally:
+            policy_mod._POLICIES.pop(name, None)
+
+    def test_register_rejects_non_policies(self):
+        with pytest.raises(ConfigError, match="CoherencyPolicy"):
+            register_policy("test-bad-tmp", "paper")
+
+
+class TestResolvePolicy:
+    def test_defaults_to_the_paper_policy_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pol, explicit = resolve_policy()
+        assert pol == get_policy("paper")
+        assert explicit is False
+
+    def test_policy_name_resolves_through_the_registry(self):
+        pol, explicit = resolve_policy(policy="staleness")
+        assert pol.controller == "staleness"
+        assert explicit is True
+
+    def test_deprecated_interval_warns_and_applies(self):
+        with pytest.warns(DeprecationWarning, match="interval"):
+            pol, explicit = resolve_policy(interval="never")
+        assert pol.interval == "never"
+        assert explicit is True
+
+    def test_deprecated_mode_warns_but_is_not_explicit(self):
+        with pytest.warns(DeprecationWarning, match="coherency_mode"):
+            pol, explicit = resolve_policy(coherency_mode="a2a")
+        assert pol.mode == "a2a"
+        assert explicit is False  # mode alone never implied a lazy engine
+
+    def test_warn_false_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pol, _ = resolve_policy(
+                interval="simple", coherency_mode="m2m", warn=False
+            )
+        assert pol.interval == "simple" and pol.mode == "m2m"
+
+
+class TestSignalTap:
+    @pytest.fixture(scope="class")
+    def tap_setup(self):
+        from repro.algorithms import make_program
+        from repro.core.transmission import build_lazy_graph
+        from repro.graph.datasets import load_dataset
+        from repro.runtime.machine_runtime import MachineRuntime
+
+        g = load_dataset("road-ca-mini")
+        pg = build_lazy_graph(g, 4, seed=0)
+        prog = make_program("pagerank")
+        rts = [MachineRuntime(mg, prog) for mg in pg.machines]
+        return rts, pg, prog
+
+    def test_quiet_cluster_reads_zero(self, tap_setup):
+        rts, pg, prog = tap_setup
+        tap = SignalTap(rts, pg, prog)
+        s = tap.read(0, pg.graph.ev_ratio, 0.0, 0)
+        assert s.pending_mass == 0.0
+        assert s.pending_replicas == 0
+        assert s.staleness_max == 0
+
+    def test_pending_deltas_are_measured(self, tap_setup):
+        rts, pg, prog = tap_setup
+        tap = SignalTap(rts, pg, prog)
+        rt = rts[0]
+        rt.delta_msg[:3] = 2.0
+        rt.has_delta[:3] = True
+        ages = [np.zeros(r.mg.num_local_vertices, dtype=np.int64)
+                for r in rts]
+        ages[0][:3] = 4
+        try:
+            s = tap.read(1, pg.graph.ev_ratio, 0.0, 3, ages=ages)
+            assert s.pending_mass == pytest.approx(6.0)
+            assert s.pending_replicas == 3
+            assert s.staleness_max == 4
+        finally:
+            rt.delta_msg[:3] = prog.algebra.identity
+            rt.has_delta[:3] = False
+
+    def test_drift_sample_is_deterministic(self, tap_setup):
+        rts, pg, prog = tap_setup
+        a = SignalTap(rts, pg, prog)
+        b = SignalTap(rts, pg, prog)
+        assert a._locations == b._locations
+        assert a.drift_sample() == b.drift_sample()
+
+
+class TestShimEquivalence:
+    """The deprecated kwargs behave exactly like their policy spelling."""
+
+    def _counters(self, result):
+        s = result.stats
+        return (s.supersteps, s.coherency_points, s.global_syncs,
+                s.comm_messages, s.comm_bytes)
+
+    def test_interval_kwarg_equals_policy_interval(self):
+        from repro.run_api import run
+
+        with pytest.warns(DeprecationWarning, match="interval"):
+            old = run("road-ca-mini", "pagerank", engine="lazy-block",
+                      machines=4, seed=0, interval="simple")
+        new = run("road-ca-mini", "pagerank", engine="lazy-block",
+                  machines=4, seed=0,
+                  policy=CoherencyPolicy(interval="simple"))
+        assert self._counters(old) == self._counters(new)
+        assert np.array_equal(old.values, new.values)
+
+    def test_coherency_mode_kwarg_equals_policy_mode(self):
+        from repro.run_api import run
+
+        with pytest.warns(DeprecationWarning, match="coherency_mode"):
+            old = run("road-ca-mini", "cc", engine="lazy-vertex",
+                      machines=4, seed=0, coherency_mode="a2a")
+        new = run("road-ca-mini", "cc", engine="lazy-vertex",
+                  machines=4, seed=0,
+                  policy=CoherencyPolicy(mode="a2a"))
+        assert self._counters(old) == self._counters(new)
+        assert np.array_equal(old.values, new.values)
+
+    def test_default_run_equals_explicit_paper_policy(self):
+        from repro.run_api import run
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            base = run("road-ca-mini", "pagerank", engine="lazy-vertex",
+                       machines=4, seed=0)
+            pol = run("road-ca-mini", "pagerank", engine="lazy-vertex",
+                      machines=4, seed=0, policy="paper")
+        assert self._counters(base) == self._counters(pol)
+        assert np.array_equal(base.values, pol.values)
+
+    def test_policy_rejected_on_eager_engines(self):
+        from repro.run_api import run
+
+        with pytest.raises(ConfigError, match="interval"):
+            run("road-ca-mini", "pagerank", engine="powergraph-sync",
+                machines=4, seed=0, policy="staleness")

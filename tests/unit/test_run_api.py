@@ -34,14 +34,16 @@ class TestRun:
             repro.run(er_graph, "pagerank", engine="bogus", machines=2)
 
     def test_interval_rejected_for_eager(self, er_graph):
-        with pytest.raises(ConfigError, match="interval"):
-            repro.run(
-                er_graph, "pagerank", engine="powergraph-sync",
-                machines=2, interval="simple",
-            )
+        with pytest.warns(DeprecationWarning, match="interval"):
+            with pytest.raises(ConfigError, match="interval"):
+                repro.run(
+                    er_graph, "pagerank", engine="powergraph-sync",
+                    machines=2, interval="simple",
+                )
 
     def test_interval_by_name(self, er_graph):
-        r = repro.run(er_graph, "pagerank", machines=2, interval="never")
+        with pytest.warns(DeprecationWarning, match="interval"):
+            r = repro.run(er_graph, "pagerank", machines=2, interval="never")
         assert r.stats.local_iterations == 0
 
     def test_every_engine_runs(self, er_weighted):
