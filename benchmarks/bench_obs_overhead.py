@@ -1,0 +1,139 @@
+"""Observability-overhead gate: sharded collection must stay cheap.
+
+The sharded observability plane (:mod:`repro.obs.shards`) buffers every
+per-machine event locally and merges at barriers. Its pitch is that the
+discipline costs (almost) nothing on the host clock — otherwise nobody
+leaves tracing on. This harness measures, per engine, the median host
+wall time of the same run in three modes:
+
+* ``off``        — ``trace=False`` (NullTracer; the baseline);
+* ``sharded``    — tracing on, buffered per-machine collectors merged at
+  barriers (the default);
+* ``passthrough``— tracing on, collectors in legacy passthrough mode
+  (every event written to the global tracer inline; the oracle path).
+
+and writes ``BENCH_obs.json``. The acceptance gate — enforced by CI and
+by this script's exit status — is that **sharded collection adds less
+than 10% host-time overhead versus ``trace=False``**.
+
+Run: ``python benchmarks/bench_obs_overhead.py --out BENCH_obs.json``.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.core.transmission import build_lazy_graph
+from repro.graph.generators import powerlaw_graph
+from repro.obs.tracer import Tracer
+from repro.runtime.registry import get_engine
+
+ENGINES = ("lazy-block", "powergraph-sync")
+MODES = ("off", "sharded", "passthrough")
+NUM_VERTICES = 50_000
+NUM_EDGES = 600_000
+MACHINES = 8
+DEFAULT_GATE_PCT = 10.0
+
+
+def _run_once(spec, pg, mode: str) -> float:
+    program = spec.make_program("pagerank", tolerance=1e-3)
+    if mode == "off":
+        engine = spec.cls(pg, program)
+    else:
+        engine = spec.cls(pg, program, tracer=Tracer())
+        if mode == "passthrough":
+            engine.shards.set_buffered(False)
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0
+
+
+def measure(repeats: int = 5) -> dict:
+    graph = powerlaw_graph(NUM_VERTICES, NUM_EDGES, seed=3)
+    pg = build_lazy_graph(graph, MACHINES, seed=1)
+    out = {
+        "config": {
+            "graph": f"powerlaw({NUM_VERTICES}, {NUM_EDGES})",
+            "machines": MACHINES,
+            "algorithm": "pagerank",
+            "repeats": repeats,
+            "statistic": "median (1 warmup run discarded)",
+        },
+        "engines": {},
+    }
+    for name in ENGINES:
+        spec = get_engine(name)
+        rows = {}
+        for mode in MODES:
+            _run_once(spec, pg, mode)  # warmup (JIT-less, but caches)
+            times = sorted(_run_once(spec, pg, mode) for _ in range(repeats))
+            rows[mode] = {
+                "median_s": statistics.median(times),
+                "runs_s": [round(t, 4) for t in times],
+            }
+        base = rows["off"]["median_s"]
+        sharded_pct = 100.0 * (rows["sharded"]["median_s"] - base) / base
+        passthrough_pct = (
+            100.0 * (rows["passthrough"]["median_s"] - base) / base
+        )
+        out["engines"][name] = {
+            **rows,
+            "sharded_overhead_pct": round(sharded_pct, 2),
+            "passthrough_overhead_pct": round(passthrough_pct, 2),
+        }
+    return out
+
+
+def apply_gate(report: dict, gate_pct: float) -> bool:
+    ok = True
+    acceptance = {"threshold_pct": gate_pct}
+    for name, row in report["engines"].items():
+        passed = row["sharded_overhead_pct"] < gate_pct
+        acceptance[f"{name}_sharded_lt_threshold"] = passed
+        ok = ok and passed
+    acceptance["all_ok"] = ok
+    report["acceptance"] = acceptance
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", help="write the JSON report here")
+    ap.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed runs per (engine, mode) after one warmup (default 5)",
+    )
+    ap.add_argument(
+        "--gate", type=float, default=DEFAULT_GATE_PCT,
+        help="max sharded overhead vs trace=False, percent (default 10)",
+    )
+    args = ap.parse_args(argv)
+    report = measure(repeats=args.repeats)
+    ok = apply_gate(report, args.gate)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    for name, row in report["engines"].items():
+        print(
+            f"{name}: sharded {row['sharded_overhead_pct']:+.2f}% / "
+            f"passthrough {row['passthrough_overhead_pct']:+.2f}% "
+            f"vs trace=False",
+            file=sys.stderr,
+        )
+    if not ok:
+        print(
+            f"GATE FAILED: sharded collection overhead exceeds "
+            f"{args.gate:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

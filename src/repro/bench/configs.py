@@ -78,6 +78,9 @@ class ExperimentConfig:
     coherency_mode: str = "dynamic"
     seed: int = 0
     lens: bool = False
+    #: CoherencyLens keyword overrides (sample_size / seed / rollup_after
+    #: / rollup_every / sharded); a non-empty dict implies ``lens``.
+    lens_opts: Dict = field(default_factory=dict)
     #: Named coherency policy (see :func:`repro.policy_names`). When set
     #: it wins over the legacy ``interval``/``coherency_mode`` fields;
     #: ``policy_opts`` overlays ``--policy-opt``-style overrides.

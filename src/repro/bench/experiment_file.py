@@ -45,6 +45,8 @@ _ALLOWED_KEYS = {
     "policy",
     "policy_opts",
     "seed",
+    "lens",
+    "lens_opts",
     "params",
 }
 
@@ -67,7 +69,12 @@ def _build_config(entry: Dict, defaults: Dict, index: int) -> ExperimentConfig:
     policy_opts = merged.pop("policy_opts", {})
     if not isinstance(policy_opts, dict):
         raise ConfigError(f"experiment #{index}: policy_opts must be an object")
-    return ExperimentConfig(params=params, policy_opts=policy_opts, **merged)
+    lens_opts = merged.pop("lens_opts", {})
+    if not isinstance(lens_opts, dict):
+        raise ConfigError(f"experiment #{index}: lens_opts must be an object")
+    return ExperimentConfig(
+        params=params, policy_opts=policy_opts, lens_opts=lens_opts, **merged
+    )
 
 
 def load_experiment_file(path: str) -> Tuple[str, List[ExperimentConfig]]:

@@ -96,6 +96,7 @@ def run_config(
         tuple(sorted(config.policy_opts.items())),
         config.seed,
         config.lens,
+        tuple(sorted(config.lens_opts.items())),
         tuple(sorted(config.resolved_params().items())),
         split,
         network,
@@ -135,12 +136,12 @@ def run_config(
         kwargs["coherency_mode"] = pol.mode
         if "max_delta_age" in spec.options:
             kwargs["max_delta_age"] = pol.max_delta_age
-    if config.lens:
+    if config.lens or config.lens_opts:
         if "lens" not in spec.options:
             raise ConfigError(
                 f"engine {config.engine!r} has no coherency lens"
             )
-        kwargs["lens"] = True
+        kwargs["lens"] = dict(config.lens_opts) if config.lens_opts else True
     result = spec.cls(pgraph, program, **kwargs).run()
     timer.lap("engine")
     timer.stop()

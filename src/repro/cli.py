@@ -9,6 +9,8 @@ Mirrors how the paper's toolkits are driven from the shell:
 * ``sweep``    — machine-count scaling series (a Fig 12 panel);
 * ``report``   — per-phase breakdown of a recorded execution trace,
   with LensAuditor anomaly flags (``--strict`` exits 3 on anomalies);
+* ``analyze``  — critical-path / straggler analysis of a recorded trace
+  (per-superstep gating machine/channel, load imbalance vs λ);
 * ``dashboard``— render a recorded trace as an offline HTML dashboard.
 """
 
@@ -102,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the coherency lens (lazy engines): replica "
              "staleness/divergence probes + the decision audit log",
     )
+    p_run.add_argument(
+        "--lens-rollup-after", type=int, metavar="N",
+        help="lens sampling: after superstep N, probe only every "
+             "--lens-rollup-every supersteps (implies --lens)",
+    )
+    p_run.add_argument(
+        "--lens-rollup-every", type=int, metavar="K",
+        help="lens sampling: probe cadence after the rollup point "
+             "(default 100; implies --lens)",
+    )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
     add_common(p_cmp)
@@ -143,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_val.add_argument("--machines", type=int, default=8)
     p_val.add_argument("--seed", type=int, default=0)
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="critical-path / straggler analysis of a recorded trace",
+    )
+    p_ana.add_argument("trace", help="trace file written by run --trace-out")
+    p_ana.add_argument(
+        "--json", action="store_true",
+        help="print the full analysis as JSON instead of text",
+    )
+    p_ana.add_argument(
+        "--json-out", metavar="PATH",
+        help="also write the JSON analysis to PATH",
+    )
+    p_ana.add_argument(
+        "--max-rows", type=int, default=40,
+        help="per-superstep rows shown in the text table (default 40)",
+    )
 
     p_rep = sub.add_parser(
         "report",
@@ -214,6 +244,15 @@ def _resolve_cli_policy(args):
     return policy.apply_opts(opts) if opts else policy
 
 
+def _lens_cli_opts(args) -> dict:
+    opts = {}
+    if getattr(args, "lens_rollup_after", None) is not None:
+        opts["rollup_after"] = args.lens_rollup_after
+    if getattr(args, "lens_rollup_every", None) is not None:
+        opts["rollup_every"] = args.lens_rollup_every
+    return opts
+
+
 def _cmd_run(args) -> int:
     kwargs = _algorithm_params(args)
     result = run(
@@ -230,6 +269,7 @@ def _cmd_run(args) -> int:
         trace_out=getattr(args, "trace_out", None),
         trace_format=getattr(args, "trace_format", None) or "jsonl",
         lens=getattr(args, "lens", False),
+        lens_opts=_lens_cli_opts(args) or None,
         **kwargs,
     )
     print(f"{result.engine}/{result.algorithm} on {args.graph} "
@@ -450,6 +490,25 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.obs.critical_path import analyze_trace, format_analysis
+    from repro.obs.report import load_trace
+
+    analysis = analyze_trace(load_trace(args.trace))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(analysis, fh, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(analysis, indent=2, sort_keys=True))
+    else:
+        print(format_analysis(analysis, max_rows=args.max_rows))
+    if args.json_out:
+        print(f"analysis JSON written to {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_dashboard(args) -> int:
     from repro.obs.dashboard import render_compare_dashboard, render_dashboard
     from repro.obs.report import load_trace
@@ -492,6 +551,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "analyze": _cmd_analyze,
     "dashboard": _cmd_dashboard,
 }
 

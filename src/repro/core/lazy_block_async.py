@@ -24,7 +24,7 @@ the graph's E/V ratio and the active-count trend.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
@@ -82,7 +82,7 @@ class LazyBlockAsyncEngine(BaseEngine):
         max_supersteps: int = 100_000,
         trace: bool = False,
         tracer=None,
-        lens: bool = False,
+        lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
@@ -100,7 +100,10 @@ class LazyBlockAsyncEngine(BaseEngine):
             else None
         )
         if lens:
-            self.lens = CoherencyLens.for_engine(self)
+            # lens may be True or a dict of CoherencyLens kwargs
+            # (sample_size/seed/rollup_after/rollup_every/sharded)
+            opts = lens if isinstance(lens, dict) else {}
+            self.lens = CoherencyLens.for_engine(self, **opts)
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
             tracer=self.tracer, plane=self.comms, delivery=Delivery.BSP,
@@ -108,44 +111,65 @@ class LazyBlockAsyncEngine(BaseEngine):
         )
 
     # ------------------------------------------------------------------
-    def _local_micro_iteration(self) -> "tuple[bool, float]":
+    def _local_micro_iteration(self, stage=None) -> "tuple[bool, float]":
         """One Apply+Scatter sweep on every machine; local writes only.
 
         Returns ``(did_work, modeled_iteration_seconds)`` where the time
         is the slowest machine's share (machines run concurrently).
+        ``stage`` optionally accumulates per-machine ``(busy_s, edges,
+        applies)`` for the stage's ``machine-work`` trace instants.
         """
         net = self.sim.network
         worked = False
         slowest = 0.0
+        self.shards.tick()
         for rt in self.runtimes:
             idx, accum = rt.take_ready()
             edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
             if idx.size:
                 worked = True
                 self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
-                slowest = max(slowest, net.compute_time(edges, idx.size))
+                seconds = net.compute_time(edges, idx.size)
+                slowest = max(slowest, seconds)
+                if stage is not None:
+                    m = rt.mg.machine_id
+                    stage[0][m] += seconds
+                    stage[1][m] += edges
+                    stage[2][m] += int(idx.size)
         return worked, slowest
 
-    def _local_stage(self) -> None:
+    def _local_stage(self, step: int) -> None:
         """Run the bounded local computation stage (Stage 1).
 
         No model-time charge happens here — machines' compute meters
         accumulate and fold at the next coherency barrier (BSP max
         semantics) — so the span carries the stage's slowest-machine
-        estimate in ``est_compute_s`` instead of a modeled width.
+        estimate in ``est_compute_s`` instead of a modeled width. With
+        tracing on, each machine's stage total rides out as one
+        ``machine-work`` instant (micro-iterations have no per-machine
+        spans — that would multiply the trace by the iteration count).
         """
+        shards = self.shards
+        nm = self.sim.num_machines
+        stage = (
+            ([0.0] * nm, [0] * nm, [0] * nm) if self.tracer.enabled else None
+        )
         with self.tracer.span("local-computation", category="phase") as sp:
             budget = None
             spent = 0.0
             iters = 0
             for _ in range(_MAX_LOCAL_ITERS):
-                worked, seconds = self._local_micro_iteration()
+                worked, seconds = self._local_micro_iteration(stage)
                 if not worked:
                     break  # local quiescence: nothing left to do anywhere
                 self.sim.stats.local_iterations += 1
                 iters += 1
                 if budget is None:
-                    # doLC(): measure the stage's first micro-iteration online
+                    # doLC(): measure the stage's first micro-iteration
+                    # online. The decision instant goes straight to the
+                    # tracer, so flush the shard buffers first to keep
+                    # the stream in emission order.
+                    shards.merge()
                     budget = self.controller.local_budget(seconds)
                     self.lens.decision(
                         "local_budget",
@@ -158,6 +182,18 @@ class LazyBlockAsyncEngine(BaseEngine):
                 spent += seconds
                 if spent >= budget:
                     break
+            if stage is not None:
+                shards.tick()
+                busy, s_edges, s_applies = stage
+                for m in range(nm):
+                    if s_edges[m] or s_applies[m]:
+                        shards.collectors[m].instant(
+                            "machine-work",
+                            machine=m, superstep=step,
+                            busy_s=busy[m], edges=int(s_edges[m]),
+                            applies=s_applies[m], iterations=iters,
+                        )
+            shards.merge()
             sp.set(iterations=iters, est_compute_s=spent,
                    budget_s=budget if budget is not None else 0.0)
 
@@ -179,7 +215,7 @@ class LazyBlockAsyncEngine(BaseEngine):
                 lens.begin_superstep(step)
                 # ---- Stage 1: local computation -----------------------
                 if do_local:
-                    self._local_stage()
+                    self._local_stage(step)
 
                 # pre-exchange reading: how much divergence did the local
                 # stage build up before this coherency point repairs it
@@ -244,16 +280,20 @@ class LazyBlockAsyncEngine(BaseEngine):
 
                 # ---- data coherency point: Apply + Scatter ------------
                 with tracer.span("coherency-apply", category="phase"):
+                    self.shards.tick()
+                    net = sim.network
                     for rt in self.runtimes:
                         idx, accum = rt.take_ready()
-                        with tracer.span(
-                            "apply-machine", category="machine",
-                            machine=rt.mg.machine_id,
+                        with self.shards.collectors[rt.mg.machine_id].span(
+                            "apply-machine",
+                            machine=rt.mg.machine_id, superstep=step,
                         ) as msp:
                             edges, _ = rt.apply_and_scatter(
                                 idx, accum, track_delta=True
                             )
-                            msp.set(edges=edges, applies=int(idx.size))
+                            msp.set(edges=edges, applies=int(idx.size),
+                                    busy_s=net.compute_time(edges, int(idx.size)))
                         self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+                    self.shards.merge()
                 sim.stats.supersteps += 1
         return False

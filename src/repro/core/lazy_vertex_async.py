@@ -20,7 +20,7 @@ for lazy coherency in an asynchronous setting.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class LazyVertexAsyncEngine(BaseEngine):
         max_supersteps: int = 100_000,
         trace: bool = False,
         tracer=None,
-        lens: bool = False,
+        lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
     ) -> None:
         super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
@@ -90,7 +90,10 @@ class LazyVertexAsyncEngine(BaseEngine):
             else None
         )
         if lens:
-            self.lens = CoherencyLens.for_engine(self)
+            # lens may be True or a dict of CoherencyLens kwargs
+            # (sample_size/seed/rollup_after/rollup_every/sharded)
+            opts = lens if isinstance(lens, dict) else {}
+            self.lens = CoherencyLens.for_engine(self, **opts)
         self.exchanger = CoherencyExchanger(
             pgraph, program, self.runtimes, coherency_mode, self.sim.network,
             tracer=self.tracer, plane=self.comms,
@@ -113,6 +116,8 @@ class LazyVertexAsyncEngine(BaseEngine):
         tracer = self.tracer
         lens = self.lens
         controller = self.controller
+        shards = self.shards
+        net = sim.network
         tap = self._tap
         ev_ratio = self.pgraph.graph.ev_ratio
         for step in range(self.max_supersteps):
@@ -122,19 +127,22 @@ class LazyVertexAsyncEngine(BaseEngine):
                 with tracer.span("local-round", category="phase") as sp:
                     round_edges = 0
                     round_applies = 0
+                    shards.tick()
                     for rt in self.runtimes:
                         idx, accum = rt.take_ready()
-                        with tracer.span(
-                            "apply-machine", category="machine",
-                            machine=rt.mg.machine_id,
+                        with shards.collectors[rt.mg.machine_id].span(
+                            "apply-machine",
+                            machine=rt.mg.machine_id, superstep=step,
                         ) as msp:
                             edges, _ = rt.apply_and_scatter(
                                 idx, accum, track_delta=True
                             )
-                            msp.set(edges=edges, applies=int(idx.size))
+                            msp.set(edges=edges, applies=int(idx.size),
+                                    busy_s=net.compute_time(edges, int(idx.size)))
                         sim.add_compute(rt.mg.machine_id, edges, idx.size)
                         round_edges += edges
                         round_applies += int(idx.size)
+                    shards.merge()
                     sp.set(edges=round_edges, applies=round_applies)
 
                 # ---- age deltas; stale ones trigger their own coherency

@@ -10,6 +10,12 @@ The observability layer the paper's counter-driven evaluation implies:
 * :mod:`repro.obs.sinks` — in-memory (default), JSONL stream, and
   Chrome ``trace_event`` export (``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.report` — summarize a saved trace (``repro report``);
+* :mod:`repro.obs.shards` — per-machine collectors buffering each
+  machine's events during a superstep, merged deterministically into the
+  tracer's single stream at barriers / coherency points;
+* :mod:`repro.obs.critical_path` — critical-path / straggler analysis
+  of a trace (``repro analyze``): per-superstep gating machine/channel,
+  load imbalance vs the replication factor λ;
 * :mod:`repro.obs.lens` — the coherency lens: replica-staleness and
   divergence probes plus the coherency-decision audit log for the lazy
   engines (opt-in via ``lens=True``);
@@ -22,6 +28,7 @@ The observability layer the paper's counter-driven evaluation implies:
 
 from repro.obs.audit import Anomaly, LensAuditor
 from repro.obs.chrome import chrome_trace_document
+from repro.obs.critical_path import analyze_trace, format_analysis
 from repro.obs.dashboard import render_dashboard
 from repro.obs.lens import (
     NULL_LENS,
@@ -36,6 +43,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.shards import MachineCollector, ProbeSample, ShardedObs
 from repro.obs.report import (
     TraceData,
     format_report,
@@ -73,6 +81,11 @@ __all__ = [
     "load_trace",
     "summarize_trace",
     "format_report",
+    "analyze_trace",
+    "format_analysis",
+    "MachineCollector",
+    "ShardedObs",
+    "ProbeSample",
     "CoherencyLens",
     "CoherencyDecision",
     "NullLens",

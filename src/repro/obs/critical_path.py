@@ -1,0 +1,437 @@
+"""Critical-path / straggler analysis over a machine-attributed trace.
+
+The sharded observability plane (:mod:`repro.obs.shards`) stamps every
+per-machine work span with its machine id and modeled busy seconds
+(``busy_s``), and the lazy-block local stage emits per-machine
+``machine-work`` instants. This module reconstructs from such a trace:
+
+* **per-superstep timelines** — each superstep's phase legs (gather /
+  apply / scatter, local-computation / coherency, …) with their modeled
+  widths and charge breakdown;
+* **the modeled-time critical path** — since the lockstep simulator
+  advances the model clock only at barriers/settles, a superstep's
+  duration is gated by exactly one entity per leg: the slowest machine
+  on a compute leg (BSP ``max`` fold), or the priced channel on a
+  comm/sync leg. The analyzer names a gating machine or channel for
+  *every* superstep (falling back to the ``control``/barrier channel
+  when a superstep did no attributable work);
+* **straggler and load-imbalance summaries** — per-machine busy totals,
+  shares, gating counts, and the ``max/mean`` imbalance, reported next
+  to the partition layer's replication factor λ (the paper's speedup
+  predictor: a vertex-cut that lowers λ lowers exchange volume, but a
+  *skewed* cut shifts the gate to one straggler machine — the two
+  numbers together say which lever matters).
+
+Accounting invariant (asserted by the integration tests): bootstrap +
+Σ superstep widths + untracked charges = ``RunStats.modeled_time_s``.
+
+Entry points: :func:`analyze_trace` (dict, JSON-ready) and
+:func:`format_analysis` (the ``repro analyze`` text rendering). Both
+JSONL and Chrome traces work: with span ids the parent links are used
+directly; without (Chrome), nesting is recovered from emission order —
+children always close before their parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.report import TraceData
+
+__all__ = ["analyze_trace", "format_analysis"]
+
+#: phase-leg name → the channel that prices its barrier/traffic when the
+#: leg itself carries no mode attribute (see _leg_channel)
+_LEG_CHANNELS = {
+    "gather": "gather",
+    "apply": "broadcast",
+    "scatter": "control",
+    "exchange-apply": "one_edge",
+    "termination-probe": "control",
+}
+
+#: coherency-exchange wire mode → delta channel (CommMode enum values)
+_MODE_CHANNELS = {"all_to_all": "delta_a2a", "mirrors_to_master": "delta_m2m"}
+
+
+def _leg_channel(name: str, attrs: Dict[str, Any]) -> str:
+    """The channel that gates a leg's comm/sync time."""
+    mode = attrs.get("mode")
+    if mode in _MODE_CHANNELS:
+        return _MODE_CHANNELS[mode]
+    return _LEG_CHANNELS.get(name, "control")
+
+
+def _nest_spans(
+    trace: TraceData,
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Recover (bootstrap, supersteps-with-legs) from the span stream.
+
+    Each superstep dict gains ``legs`` (its phase children, in emission
+    order) and each leg gains ``machine_spans``. When span ids are
+    present (JSONL / live tracer) parent links are used; otherwise
+    (Chrome) nesting falls out of emission order: span records are
+    emitted at close, so a child's record always precedes its parent's.
+    """
+    have_ids = all(
+        "id" in s for s in trace.spans if s.get("cat") in ("superstep", "phase")
+    ) and bool(trace.spans)
+    bootstrap = None
+    supersteps: List[Dict[str, Any]] = []
+    if have_ids:
+        legs_by_parent: Dict[Any, List[Dict[str, Any]]] = {}
+        machines_by_parent: Dict[Any, List[Dict[str, Any]]] = {}
+        for s in trace.spans:
+            cat = s.get("cat")
+            if cat == "phase":
+                legs_by_parent.setdefault(s.get("parent"), []).append(s)
+            elif cat == "machine":
+                machines_by_parent.setdefault(s.get("parent"), []).append(s)
+        for s in trace.spans:
+            cat = s.get("cat")
+            if cat == "phase":
+                s["machine_spans"] = machines_by_parent.get(s.get("id"), [])
+                if s.get("parent") is None and s["name"] == "bootstrap":
+                    bootstrap = s
+            elif cat == "superstep":
+                s["legs"] = legs_by_parent.get(s.get("id"), [])
+                supersteps.append(s)
+        # a top-level bootstrap parented to nothing (parent id None)
+        if bootstrap is None:
+            for s in trace.spans:
+                if s.get("cat") == "phase" and s["name"] == "bootstrap":
+                    bootstrap = s
+                    break
+        return bootstrap, supersteps
+
+    pending_machines: List[Dict[str, Any]] = []
+    pending_phases: List[Dict[str, Any]] = []
+    for s in trace.spans:
+        cat = s.get("cat")
+        if cat == "machine":
+            pending_machines.append(s)
+        elif cat == "phase":
+            s["machine_spans"] = pending_machines
+            pending_machines = []
+            if s["name"] == "bootstrap":
+                bootstrap = s
+            else:
+                pending_phases.append(s)
+        elif cat == "superstep":
+            s["legs"] = pending_phases
+            pending_phases = []
+            supersteps.append(s)
+    return bootstrap, supersteps
+
+
+def _machine_work(trace: TraceData) -> Dict[int, List[Dict[str, Any]]]:
+    """``machine-work`` instants (lazy local stages) keyed by superstep."""
+    out: Dict[int, List[Dict[str, Any]]] = {}
+    for inst in trace.instants:
+        if inst.get("name") != "machine-work":
+            continue
+        attrs = inst.get("attrs") or {}
+        out.setdefault(int(attrs.get("superstep", -1)), []).append(attrs)
+    return out
+
+
+def _gating_machine(
+    leg: Dict[str, Any], work: List[Dict[str, Any]]
+) -> Tuple[Optional[int], float]:
+    """Slowest machine on a leg: (machine id, busy_s), or (None, 0.0).
+
+    Busy seconds come from the shards' ``busy_s`` span attribute (or a
+    ``machine-work`` instant for the lazy local stage); ties break to
+    the lowest machine id, matching the simulator's deterministic folds.
+    """
+    best: Optional[int] = None
+    best_busy = 0.0
+    rows: List[Dict[str, Any]] = [
+        (s.get("attrs") or {}) for s in leg.get("machine_spans", [])
+    ]
+    if leg["name"] == "local-computation":
+        rows += work
+    for attrs in rows:
+        busy = float(attrs.get("busy_s", 0.0))
+        machine = attrs.get("machine")
+        if machine is None:
+            continue
+        if busy > best_busy or best is None:
+            if busy > best_busy:
+                best = int(machine)
+                best_busy = busy
+            elif best is None:
+                best = int(machine)
+    return best, best_busy
+
+
+def analyze_trace(trace: TraceData) -> Dict[str, Any]:
+    """Critical-path / straggler analysis of one run's trace.
+
+    Returns a JSON-serializable dict; see the module docstring for the
+    semantics of each section.
+    """
+    meta = trace.meta
+    stats = trace.stats
+    num_machines = int(meta.get("machines", 0) or 0)
+    bootstrap, steps = _nest_spans(trace)
+    work_by_step = _machine_work(trace)
+    untracked = meta.get("untracked_charges") or {}
+    untracked_s = float(sum(untracked.values()))
+    bootstrap_s = (
+        float(bootstrap["model_t1"] - bootstrap["model_t0"]) if bootstrap else 0.0
+    )
+
+    busy_total: Dict[int, float] = {}
+    gated_machine: Dict[int, int] = {}
+    gated_channel: Dict[str, int] = {}
+    leg_totals: Dict[str, Dict[str, float]] = {}
+    leg_order: List[str] = []
+    rows: List[Dict[str, Any]] = []
+    supersteps_s = 0.0
+
+    for ss in steps:
+        ss_attrs = ss.get("attrs") or {}
+        step = int(ss_attrs.get("superstep", len(rows)))
+        width = float(ss["model_t1"] - ss["model_t0"])
+        supersteps_s += width
+        work = work_by_step.get(step, [])
+        # per-machine busy accumulated across this superstep's legs so
+        # far: the settle legs (coherency / partial-coherency) carry the
+        # compute charge for work done in *earlier* sibling legs, so a
+        # compute-dominated leg with no machine spans of its own is
+        # gated by the superstep's running straggler
+        step_busy: Dict[int, float] = {}
+        for attrs in work:
+            m = int(attrs.get("machine", -1))
+            busy = float(attrs.get("busy_s", 0.0))
+            busy_total[m] = busy_total.get(m, 0.0) + busy
+            step_busy[m] = step_busy.get(m, 0.0) + busy
+        legs: List[Dict[str, Any]] = []
+        child_s = 0.0
+        for leg in ss.get("legs", []):
+            name = leg["name"]
+            model_s = float(leg["model_t1"] - leg["model_t0"])
+            child_s += model_s
+            charges = leg.get("charges") or {}
+            compute_s = float(charges.get("compute", 0.0))
+            comm_s = float(charges.get("comm", 0.0))
+            sync_s = float(charges.get("sync", 0.0))
+            attrs = leg.get("attrs") or {}
+            machine, busy = _gating_machine(leg, work)
+            for sp in leg.get("machine_spans", []):
+                a = sp.get("attrs") or {}
+                if a.get("machine") is not None:
+                    m = int(a["machine"])
+                    b = float(a.get("busy_s", 0.0))
+                    busy_total[m] = busy_total.get(m, 0.0) + b
+                    step_busy[m] = step_busy.get(m, 0.0) + b
+            channel = _leg_channel(name, attrs)
+            if machine is None and compute_s >= comm_s + sync_s and step_busy:
+                # a settle leg: charge came from earlier legs' machines
+                machine = min(
+                    step_busy, key=lambda m: (-step_busy[m], m)
+                )
+                busy = step_busy[machine]
+            # who gates this leg: on a compute-dominated leg the BSP max
+            # fold waits on the slowest machine; comm/sync-priced legs
+            # wait on their channel. Compute-dominated with no machine
+            # attribution (an all-idle leg) falls back to the channel.
+            if machine is not None and compute_s >= comm_s + sync_s:
+                gate: Dict[str, Any] = {
+                    "kind": "machine", "machine": machine, "busy_s": busy,
+                }
+            else:
+                gate = {"kind": "channel", "channel": channel}
+            row = {
+                "name": name, "model_s": model_s, "compute_s": compute_s,
+                "comm_s": comm_s, "sync_s": sync_s,
+                "machine": machine, "machine_busy_s": busy,
+                "channel": channel, "gating": gate,
+            }
+            legs.append(row)
+            agg = leg_totals.get(name)
+            if agg is None:
+                agg = leg_totals[name] = {"model_s": 0.0, "count": 0.0}
+                leg_order.append(name)
+            agg["model_s"] += model_s
+            agg["count"] += 1
+        self_s = width - child_s
+        # the gating leg is the widest on the model clock; an all-zero
+        # superstep (everything idle) is gated by the control barrier
+        gating_leg = max(legs, key=lambda r: r["model_s"], default=None)
+        if gating_leg is not None and gating_leg["model_s"] > 0.0:
+            gate = dict(gating_leg["gating"])
+            gate["leg"] = gating_leg["name"]
+        else:
+            gate = {
+                "kind": "channel", "channel": "control",
+                "leg": gating_leg["name"] if gating_leg else "(idle)",
+            }
+        if gate["kind"] == "machine":
+            gated_machine[gate["machine"]] = (
+                gated_machine.get(gate["machine"], 0) + 1
+            )
+        else:
+            gated_channel[gate["channel"]] = (
+                gated_channel.get(gate["channel"], 0) + 1
+            )
+        rows.append({
+            "superstep": step, "model_s": width, "self_s": self_s,
+            "model_t0": float(ss["model_t0"]),
+            "model_t1": float(ss["model_t1"]),
+            "gating": gate, "legs": legs,
+        })
+
+    # bootstrap busy/machine attribution (its sweep instants carry no
+    # busy seconds; the compute charge folds at the first barrier)
+    total_modeled_s = float(stats.get("modeled_time_s", 0.0))
+    accounted_s = bootstrap_s + supersteps_s + untracked_s
+
+    machines_section: Dict[str, Any] = {}
+    stragglers: Dict[str, Any] = {}
+    if num_machines:
+        busy = [busy_total.get(m, 0.0) for m in range(num_machines)]
+        total_busy = sum(busy)
+        mean_busy = total_busy / num_machines if num_machines else 0.0
+        max_busy = max(busy) if busy else 0.0
+        argmax = busy.index(max_busy) if busy else None
+        machines_section = {
+            "busy_s": busy,
+            "share": [
+                (b / total_busy if total_busy > 0 else 0.0) for b in busy
+            ],
+            "gated_supersteps": [
+                gated_machine.get(m, 0) for m in range(num_machines)
+            ],
+        }
+        stragglers = {
+            "machine": argmax,
+            "max_busy_s": max_busy,
+            "mean_busy_s": mean_busy,
+            "imbalance": (max_busy / mean_busy) if mean_busy > 0 else 1.0,
+            "compute_skew": stats.get("compute_skew"),
+            "replication_factor": meta.get("replication_factor"),
+        }
+
+    return {
+        "engine": meta.get("engine", "?"),
+        "algorithm": meta.get("algorithm", "?"),
+        "machines": num_machines,
+        "replication_factor": meta.get("replication_factor"),
+        "total_modeled_s": total_modeled_s,
+        "accounted_s": accounted_s,
+        "bootstrap_s": bootstrap_s,
+        "supersteps_s": supersteps_s,
+        "untracked_s": untracked_s,
+        "critical_path": [
+            {"name": n, **leg_totals[n]} for n in leg_order
+        ],
+        "supersteps": rows,
+        "machines_detail": machines_section,
+        "stragglers": stragglers,
+        "gated_channels": gated_channel,
+    }
+
+
+def _gate_label(gate: Dict[str, Any]) -> str:
+    if gate.get("kind") == "machine":
+        return f"machine {gate['machine']}"
+    return f"channel {gate.get('channel', '?')}"
+
+
+def format_analysis(analysis: Dict[str, Any], max_rows: int = 40) -> str:
+    """Render an analysis dict as the ``repro analyze`` text report."""
+    from repro.bench.reporting import format_table
+
+    lines: List[str] = []
+    lam = analysis.get("replication_factor")
+    lines.append(
+        f"critical-path analysis — {analysis['engine']}/"
+        f"{analysis['algorithm']}, {analysis['machines']} machines"
+        + (f", λ={lam:.3f}" if isinstance(lam, (int, float)) else "")
+    )
+
+    total = analysis["total_modeled_s"]
+    acct = [
+        ["bootstrap", round(analysis["bootstrap_s"], 6)],
+        ["supersteps", round(analysis["supersteps_s"], 6)],
+        ["untracked", round(analysis["untracked_s"], 6)],
+        ["accounted", round(analysis["accounted_s"], 6)],
+        ["modeled total", round(total, 6)],
+    ]
+    lines.append(format_table(
+        ["segment", "model_s"], acct, title="modeled-time accounting",
+    ))
+
+    cp_rows = []
+    for row in analysis["critical_path"]:
+        share = 100.0 * row["model_s"] / total if total > 0 else 0.0
+        cp_rows.append([
+            row["name"], int(row["count"]), round(row["model_s"], 6),
+            round(share, 1),
+        ])
+    if cp_rows:
+        lines.append(format_table(
+            ["leg", "count", "model_s", "%"],
+            cp_rows, title="critical path by leg",
+        ))
+
+    steps = analysis["supersteps"]
+    step_rows = []
+    shown = steps if len(steps) <= max_rows else steps[:max_rows]
+    for row in shown:
+        step_rows.append([
+            row["superstep"], round(row["model_s"], 6),
+            row["gating"].get("leg", "?"), _gate_label(row["gating"]),
+        ])
+    if step_rows:
+        title = "per-superstep gating"
+        if len(steps) > len(shown):
+            title += f" (first {len(shown)} of {len(steps)})"
+        lines.append(format_table(
+            ["superstep", "model_s", "gating leg", "gated by"],
+            step_rows, title=title,
+        ))
+
+    md = analysis.get("machines_detail") or {}
+    if md.get("busy_s"):
+        m_rows = []
+        for m, b in enumerate(md["busy_s"]):
+            m_rows.append([
+                m, round(b, 6), round(100.0 * md["share"][m], 1),
+                md["gated_supersteps"][m],
+            ])
+        lines.append(format_table(
+            ["machine", "busy_s", "share %", "gated supersteps"],
+            m_rows, title="per-machine load",
+        ))
+
+    st = analysis.get("stragglers") or {}
+    if st:
+        imb = st.get("imbalance")
+        skew = st.get("compute_skew")
+        lam = st.get("replication_factor")
+        parts = [
+            f"straggler: machine {st.get('machine')}"
+            f" (busy {st.get('max_busy_s', 0.0):.6f}s,"
+            f" mean {st.get('mean_busy_s', 0.0):.6f}s)",
+            f"imbalance max/mean = {imb:.3f}" if imb is not None else "",
+            f"compute skew = {skew:.3f}" if isinstance(skew, (int, float)) else "",
+            (
+                f"replication factor λ = {lam:.3f} — λ prices the exchange "
+                f"volume a lazy run avoids; the imbalance above says how "
+                f"much of the remaining time one straggler gates"
+                if isinstance(lam, (int, float)) else ""
+            ),
+        ]
+        lines.append("\n".join(p for p in parts if p))
+
+    ch = analysis.get("gated_channels") or {}
+    if ch:
+        lines.append(
+            "supersteps gated by channel: " + ", ".join(
+                f"{name}×{count}" for name, count in sorted(ch.items())
+            )
+        )
+    return "\n\n".join(lines)

@@ -9,6 +9,12 @@ reviewer can open from disk:
   counters (modeled time, supersteps, coherency points, traffic);
 * **anomaly flags** — :class:`~repro.obs.audit.LensAuditor` verdicts,
   rendered with the status palette (icon + label, never color alone);
+* **critical path** (``id="critical-path"``) — a ribbon of supersteps on
+  the model clock, colored by gating leg, tooltips naming the gating
+  machine/channel (from :mod:`repro.obs.critical_path`);
+* **stragglers** (``id="stragglers"``) — per-machine modeled busy time,
+  gated-superstep counts, and the max/mean imbalance next to the
+  partition's replication factor λ;
 * **convergence** (``id="convergence"``) — active-vertex count over
   modeled cluster time;
 * **coherency lens** — pending delta mass and sampled replica drift per
@@ -414,6 +420,113 @@ def _lens_sections(trace: TraceData) -> str:
     return "".join(out)
 
 
+def _critical_path_section(trace: TraceData, analysis: Dict[str, Any]) -> str:
+    """Critical-path ribbon: one rect per superstep on the model clock,
+    colored by its gating leg, tooltip naming the gating machine/channel."""
+    head = (
+        '<section id="critical-path"><h2>Critical path</h2>'
+        '<p class="section-note">each superstep\'s width on the modeled '
+        "cluster clock, colored by the leg that gated it; hover for the "
+        "gating machine/channel (text form: repro analyze)</p>"
+    )
+    steps = analysis.get("supersteps") or []
+    if not steps:
+        return head + (
+            '<p class="section-note">trace has no superstep spans — '
+            "rerun with trace=True</p></section>"
+        )
+    t0 = min(r["model_t0"] for r in steps)
+    t1 = max(r["model_t1"] for r in steps)
+    xs = _Scale(0.0, max(t1 - t0, 1e-12), _ML, _W - _MR)
+    leg_names: List[str] = []
+    for r in steps:
+        leg = r["gating"].get("leg", "?")
+        if leg not in leg_names:
+            leg_names.append(leg)
+    hue = {n: i for i, n in enumerate(leg_names)}
+    ribbon_h = 26
+    height = _MT + ribbon_h + _MB
+    parts = [
+        head,
+        f'<svg viewBox="0 0 {_W} {height}" role="img" '
+        f'preserveAspectRatio="xMidYMid meet">',
+    ]
+    for r in steps:
+        x0 = xs(r["model_t0"] - t0)
+        x1 = xs(r["model_t1"] - t0)
+        gate = r["gating"]
+        who = (
+            f"machine {gate.get('machine')}"
+            if gate.get("kind") == "machine"
+            else f"channel {gate.get('channel')}"
+        )
+        color = f"var(--s{hue[gate.get('leg', '?')] % 4 + 1})"
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{_MT}" width="{max(x1 - x0, 0.6):.1f}" '
+            f'height="{ribbon_h}" fill="{color}">'
+            f"<title>superstep {r['superstep']}: {_fmt(r['model_s'])}s — "
+            f"{_esc(gate.get('leg', '?'))} gated by {_esc(who)}"
+            f"</title></rect>"
+        )
+    for t in _ticks(0.0, t1 - t0, 6):
+        parts.append(
+            f'<text class="tick-label" x="{xs(t):.1f}" '
+            f'y="{height - _MB + 16}" text-anchor="middle">{_fmt(t)}</text>'
+        )
+    parts.append(
+        f'<text x="{(_ML + _W - _MR) / 2:.0f}" y="{height - 2}" '
+        f'text-anchor="middle">modeled cluster time (s)</text>'
+    )
+    parts.append("</svg>")
+    parts.append(_legend(leg_names))
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _straggler_section(trace: TraceData, analysis: Dict[str, Any]) -> str:
+    """Per-machine busy bars + gated-superstep counts + imbalance vs λ."""
+    head = (
+        '<section id="stragglers"><h2>Stragglers / load balance</h2>'
+        '<p class="section-note">modeled busy seconds per machine '
+        "(from the shard collectors' work spans); hover for the number "
+        "of supersteps that machine gated</p>"
+    )
+    md = analysis.get("machines_detail") or {}
+    busy = md.get("busy_s") or []
+    if not busy or not any(busy):
+        return head + (
+            '<p class="section-note">trace has no machine-attributed '
+            "busy time — rerun with trace=True</p></section>"
+        )
+    gated = md.get("gated_supersteps") or [0] * len(busy)
+    bars = [
+        (f"m{m} ({gated[m]}×)", b) for m, b in enumerate(busy)
+    ]
+    st = analysis.get("stragglers") or {}
+    notes = []
+    if st.get("machine") is not None:
+        notes.append(
+            f"straggler: machine {st['machine']} — busy imbalance "
+            f"max/mean = {st.get('imbalance', 1.0):.3f}"
+        )
+    lam = st.get("replication_factor")
+    if isinstance(lam, (int, float)):
+        notes.append(
+            f"replication factor λ = {lam:.3f}: λ prices the exchange "
+            "volume laziness avoids; the imbalance says how much of the "
+            "remaining time one straggler gates"
+        )
+    note_html = "".join(
+        f'<p class="section-note">{_esc(n)}</p>' for n in notes
+    )
+    return (
+        head
+        + _bar_chart(bars, "machine (×supersteps gated)", "busy seconds")
+        + note_html
+        + "</section>"
+    )
+
+
 def _machine_timeline_section(trace: TraceData) -> str:
     spans = [s for s in trace.spans if s.get("cat") == "machine"]
     head = (
@@ -461,11 +574,15 @@ def _machine_timeline_section(trace: TraceData) -> str:
         w = max(x1 - x0, 1.0)
         color = f"var(--s{hue[str(s.get('name'))] % 4 + 1})"
         dur = (float(s.get("host_t1", 0.0)) - float(s.get("host_t0", 0.0)))
+        tip = f"m{m} {s.get('name')}: {dur * 1e3:.3f}ms host"
+        if "superstep" in a:
+            tip += f" · superstep {a['superstep']}"
+        if "busy_s" in a:
+            tip += f" · modeled busy {_fmt(float(a['busy_s']))}s"
         parts.append(
             f'<rect x="{x0:.1f}" y="{y}" width="{w:.1f}" '
             f'height="{lane_h - 4}" rx="2" fill="{color}">'
-            f"<title>m{m} {_esc(s.get('name'))}: {dur * 1e3:.3f}ms"
-            f"</title></rect>"
+            f"<title>{_esc(tip)}</title></rect>"
         )
     for t in _ticks(0.0, t1 - t0, 6):
         parts.append(
@@ -692,9 +809,14 @@ def render_dashboard(trace: TraceData, title: Optional[str] = None) -> str:
         f"coherency lens — {trace.meta.get('engine', '?')}/"
         f"{trace.meta.get('algorithm', '?')}"
     )
+    from repro.obs.critical_path import analyze_trace
+
+    analysis = analyze_trace(trace)
     body = "".join([
         _summary_section(trace),
         _anomaly_section(trace),
+        _critical_path_section(trace, analysis),
+        _straggler_section(trace, analysis),
         _convergence_section(trace),
         _lens_sections(trace),
         _machine_timeline_section(trace),

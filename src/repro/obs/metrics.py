@@ -159,6 +159,9 @@ class Histogram(Metric):
         if self.count == 0:
             return 0.0
         if not self.bounds:
+            if not (math.isfinite(self.min) and math.isfinite(self.max)):
+                # ±inf endpoint: inf − inf would poison the interpolation
+                return self.min if q < 0.5 else self.max
             return self.min + q * (self.max - self.min)
         target = q * self.count
         cum = 0
@@ -171,6 +174,13 @@ class Histogram(Metric):
                 lower = max(lower, self.min)
                 upper = min(upper, self.max)
                 if upper <= lower:
+                    return lower
+                # non-finite endpoints (±inf observations, or a single
+                # count in an open-ended bucket) make the interpolation
+                # NaN (inf − inf) — clamp to the finite side instead
+                if not math.isfinite(lower):
+                    return upper
+                if not math.isfinite(upper):
                     return lower
                 frac = (target - cum) / n
                 return lower + frac * (upper - lower)

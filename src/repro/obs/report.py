@@ -198,6 +198,26 @@ def summarize_trace(trace: TraceData) -> Dict[str, Any]:
             "max": export.get("max", 0.0),
         })
 
+    # straggler / gating digest (full detail: ``repro analyze``)
+    from repro.obs.critical_path import analyze_trace
+
+    analysis = analyze_trace(trace)
+    gating: Dict[str, Any] = {}
+    stragglers = analysis.get("stragglers") or {}
+    if analysis["supersteps"]:
+        md = analysis.get("machines_detail") or {}
+        gating = {
+            "channels": analysis.get("gated_channels") or {},
+            "machines": {
+                m: count
+                for m, count in enumerate(md.get("gated_supersteps") or [])
+                if count
+            },
+            "straggler": stragglers.get("machine"),
+            "imbalance": stragglers.get("imbalance"),
+            "replication_factor": stragglers.get("replication_factor"),
+        }
+
     decisions = [
         i for i in trace.instants if i.get("name") == "interval-decision"
     ]
@@ -221,6 +241,7 @@ def summarize_trace(trace: TraceData) -> Dict[str, Any]:
             "lazy_off": len(decisions) - lazy_on,
         },
         "modes": modes,
+        "gating": gating,
     }
 
 
@@ -299,4 +320,24 @@ def format_report(summary: Dict[str, Any]) -> str:
             f"{mode}×{count}" for mode, count in sorted(summary["modes"].items())
         )
         lines.append(f"coherency exchanges by mode: {mode_text}")
+
+    gating = summary.get("gating") or {}
+    if gating:
+        parts = []
+        if gating.get("machines"):
+            parts.append("machines " + ", ".join(
+                f"{m}×{c}" for m, c in sorted(gating["machines"].items())
+            ))
+        if gating.get("channels"):
+            parts.append("channels " + ", ".join(
+                f"{ch}×{c}" for ch, c in sorted(gating["channels"].items())
+            ))
+        line = "supersteps gated by: " + "; ".join(parts)
+        imb = gating.get("imbalance")
+        if imb is not None and gating.get("straggler") is not None:
+            line += (
+                f"\nstraggler machine {gating['straggler']} — busy imbalance "
+                f"max/mean = {imb:.3f} (details: repro analyze)"
+            )
+        lines.append(line)
     return "\n\n".join(lines)

@@ -121,6 +121,14 @@ class NullTracer:
     def counter(self, name: str, value: float) -> None:
         pass
 
+    def emit_closed_span(
+        self, name, category, host_t0, host_t1, attrs, charges=None
+    ) -> None:
+        pass
+
+    def emit_instant_at(self, name, host_t, attrs) -> None:
+        pass
+
     def bind_stats(self, stats) -> None:
         pass
 
@@ -213,6 +221,60 @@ class Tracer:
             "model_t1": self.model_now,
             "charges": span.charges,
             "attrs": span.attrs,
+        })
+
+    def emit_closed_span(
+        self,
+        name: str,
+        category: str,
+        host_t0: float,
+        host_t1: float,
+        attrs: Dict[str, Any],
+        charges: Optional[Dict[str, float]] = None,
+    ) -> int:
+        """Record an already-closed span (the shard-merge entry point).
+
+        Allocates the next span id and parents it to the innermost open
+        span, exactly as :meth:`span` would have at the event's original
+        position in the stream; host times are absolute
+        ``perf_counter`` readings captured at work time and converted to
+        epoch-relative here. Both model stamps read the current model
+        clock — the shard contract (no charges land between the buffered
+        work and its merge) makes that equal to the inline reading.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        self._emit({
+            "type": "span",
+            "id": span_id,
+            "parent": parent,
+            "name": name,
+            "cat": category,
+            "host_t0": host_t0 - self.host_epoch,
+            "host_t1": host_t1 - self.host_epoch,
+            "model_t0": self.model_now,
+            "model_t1": self.model_now,
+            "charges": dict(charges) if charges else {},
+            "attrs": attrs,
+        })
+        return span_id
+
+    def emit_instant_at(
+        self, name: str, host_t: float, attrs: Dict[str, Any]
+    ) -> None:
+        """Record an instant captured earlier on a machine shard.
+
+        ``host_t`` is the absolute work-time ``perf_counter`` reading;
+        the model stamp reads the current clock (see
+        :meth:`emit_closed_span` for why that is exact).
+        """
+        self._emit({
+            "type": "instant",
+            "name": name,
+            "host_t": host_t - self.host_epoch,
+            "model_t": self.model_now,
+            "attrs": attrs,
         })
 
     def instant(self, name: str, **attrs) -> None:

@@ -41,6 +41,8 @@ class PowerGraphAsyncEngine(BaseEngine):
 
     def _execute(self) -> bool:
         sim = self.sim
+        net = sim.network
+        shards = self.shards
         exchange = EagerExchange(
             self.pgraph, self.program, self.runtimes,
             plane=self.comms, fine_grained=True,
@@ -69,14 +71,19 @@ class PowerGraphAsyncEngine(BaseEngine):
                 detector.reset()
                 sent_total += traffic.total_msgs
                 with tracer.span("exchange-apply", category="phase") as sp:
+                    shards.tick()
                     work = exchange.apply_all(track_delta=False)
+                    shards.tick()
                     for machine_id, (edges, applies) in enumerate(work):
                         if tracer.enabled:
-                            tracer.span(
-                                "apply-machine", category="machine",
-                                machine=machine_id, edges=edges, applies=applies,
+                            shards.collectors[machine_id].span(
+                                "apply-machine",
+                                machine=machine_id, superstep=step,
+                                edges=edges, applies=applies,
+                                busy_s=net.compute_time(edges, applies),
                             ).end()
                         sim.add_compute(machine_id, edges, applies)
+                    shards.merge()
                     # fine-grained comm: unbatched volume + engine overhead
                     exchange.charge_fine_grained_round(traffic)
                     sim.settle_async(traffic.sent_per_machine)

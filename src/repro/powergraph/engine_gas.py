@@ -146,6 +146,8 @@ class PowerGraphGASSyncEngine(BaseEngine):
         total = np.empty(n, dtype=np.float64)
         has = np.empty(n, dtype=bool)
         tracer = self.tracer
+        shards = self.shards
+        net = sim.network
         for step in range(self.max_supersteps):
             if not active.any():
                 return True
@@ -155,14 +157,15 @@ class PowerGraphGASSyncEngine(BaseEngine):
                     total.fill(alg.identity)
                     has.fill(False)
                     gather_msgs = 0
+                    shards.tick()
                     for gm in self.runtimes:
                         local_active = active[gm.mg.vertices]
-                        with tracer.span(
-                            "gather-machine", category="machine",
-                            machine=gm.mg.machine_id,
+                        with shards.collectors[gm.mg.machine_id].span(
+                            "gather-machine",
+                            machine=gm.mg.machine_id, superstep=step,
                         ) as msp:
                             idx, acc, edges = gm.gather(prog, local_active)
-                            msp.set(edges=edges)
+                            msp.set(edges=edges, busy_s=net.compute_time(edges, 0))
                         sim.add_compute(gm.mg.machine_id, edges, 0)
                         if idx.size:
                             gids = gm.mg.vertices[idx]
@@ -171,6 +174,7 @@ class PowerGraphGASSyncEngine(BaseEngine):
                             gather_msgs += int(
                                 np.count_nonzero(~gm.mg.is_master[idx])
                             )
+                    shards.merge()
                     vol1 = schema.bytes_for(gather_msgs)
                     sp.set(gather_msgs=gather_msgs, gather_bytes=vol1)
                     gather_ch.bsp_leg(vol1, gather_msgs)  # sync #1
@@ -184,23 +188,26 @@ class PowerGraphGASSyncEngine(BaseEngine):
                     applied = np.flatnonzero(has)
                     bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
                     next_active = np.zeros(n, dtype=bool)
+                    shards.tick()
                     for gm in self.runtimes:
                         sel = has[gm.mg.vertices]
                         idx = np.flatnonzero(sel)
                         if idx.size == 0:
                             continue
-                        with tracer.span(
-                            "apply-machine", category="machine",
-                            machine=gm.mg.machine_id,
+                        with shards.collectors[gm.mg.machine_id].span(
+                            "apply-machine",
+                            machine=gm.mg.machine_id, superstep=step,
                         ) as msp:
                             changed = prog.apply(
                                 gm.mg, gm.state, idx, total[gm.mg.vertices[idx]]
                             )
-                            msp.set(applies=int(idx.size))
+                            msp.set(applies=int(idx.size),
+                                    busy_s=net.compute_time(0, int(idx.size)))
                         sim.add_compute(gm.mg.machine_id, 0, idx.size)
                         fired = idx[changed]
                         if fired.size:
                             next_active[gm.out_targets(fired)] = True
+                    shards.merge()
                     vol2 = schema.bytes_for(bcast)
                     sp.set(bcast_msgs=bcast, bcast_bytes=vol2)
                     bcast_ch.bsp_leg(vol2, bcast)  # sync #2

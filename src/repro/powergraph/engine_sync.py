@@ -23,7 +23,9 @@ class PowerGraphSyncEngine(BaseEngine):
 
     def _execute(self) -> bool:
         sim = self.sim
+        net = sim.network
         tracer = self.tracer
+        shards = self.shards
         exchange = EagerExchange(
             self.pgraph, self.program, self.runtimes, plane=self.comms
         )
@@ -42,14 +44,19 @@ class PowerGraphSyncEngine(BaseEngine):
 
                 # ---- apply on every replica + broadcast leg -----------
                 with tracer.span("apply", category="phase") as sp:
+                    shards.tick()
                     work = exchange.apply_all(track_delta=False)
+                    shards.tick()
                     for machine_id, (edges, applies) in enumerate(work):
                         if tracer.enabled:
-                            tracer.span(
-                                "apply-machine", category="machine",
-                                machine=machine_id, edges=edges, applies=applies,
+                            shards.collectors[machine_id].span(
+                                "apply-machine",
+                                machine=machine_id, superstep=step,
+                                edges=edges, applies=applies,
+                                busy_s=net.compute_time(edges, applies),
                             ).end()
                         sim.add_compute(machine_id, edges, applies)
+                    shards.merge()
                     sp.set(bcast_msgs=traffic.bcast_msgs,
                            bcast_bytes=traffic.bcast_bytes)
                     exchange.ship_broadcast(traffic)  # sync #2 (replication)

@@ -77,6 +77,7 @@ def run(
     trace_format: str = "jsonl",
     tracer: Optional[Tracer] = None,
     lens: bool = False,
+    lens_opts: Optional[dict] = None,
     **algorithm_params,
 ) -> EngineResult:
     """Run one algorithm on one graph under one engine; return the result.
@@ -124,6 +125,10 @@ def run(
         engines: replica staleness/divergence probes and the
         coherency-decision audit log. Off by default; requesting it on
         an engine without replica laziness is a :class:`ConfigError`.
+    lens_opts:
+        :class:`~repro.obs.lens.CoherencyLens` keyword overrides
+        (``sample_size`` / ``seed`` / ``rollup_after`` / ``rollup_every``
+        / ``sharded``). A non-empty dict implies ``lens=True``.
     """
     if trace_format not in TRACE_FORMATS:
         raise ConfigError(
@@ -168,8 +173,8 @@ def run(
             f"coherency policy (replicas are eagerly coherent)"
         )
     if "lens" in spec.options:
-        kwargs["lens"] = lens
-    elif lens:
+        kwargs["lens"] = dict(lens_opts) if lens_opts else lens
+    elif lens or lens_opts:
         raise ConfigError(
             f"engine {engine!r} has no coherency lens (only the lazy "
             f"engines defer replica coherency)"

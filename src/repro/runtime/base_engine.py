@@ -13,6 +13,7 @@ from repro.comms import ExchangePlane
 from repro.errors import ConvergenceError, EngineError
 from repro.kernels import KernelStats
 from repro.obs.lens import NULL_LENS
+from repro.obs.shards import ShardedObs
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import PartitionedGraph
 from repro.runtime.machine_runtime import MachineRuntime
@@ -73,6 +74,13 @@ class BaseEngine(abc.ABC):
             self.tracer.bind_stats(self.sim.stats)
         self.comms = ExchangePlane(self.sim, tracer=self.tracer)
         self.runtimes: List = list(self._make_runtimes())
+        # per-machine observability shards (repro.obs.shards): machine
+        # work spans / sweep instants buffer locally and fold into the
+        # tracer at barriers and coherency points
+        self.shards = ShardedObs(self.tracer, pgraph.num_machines)
+        for rt in self.runtimes:
+            if hasattr(rt, "obs"):
+                rt.obs = self.shards.collectors[rt.mg.machine_id]
         # coherency lens (repro.obs.lens): the lazy engines swap in a
         # real CoherencyLens when asked; everything else keeps the no-op
         self.lens = NULL_LENS
@@ -93,6 +101,7 @@ class BaseEngine(abc.ABC):
         from the very first message on.
         """
         with self.tracer.span("bootstrap", category="phase"):
+            self.shards.tick()
             for rt in self.runtimes:
                 init_delta, active = self.program.initial_scatter(rt.mg, rt.state)
                 idx = np.flatnonzero(active)
@@ -102,6 +111,7 @@ class BaseEngine(abc.ABC):
                 else:
                     edges = rt.scatter(idx, init_delta[idx], track_delta=track_delta)
                 self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+            self.shards.merge()
 
     def _globally_idle(self) -> bool:
         """True when no machine has pending messages."""
@@ -141,6 +151,7 @@ class BaseEngine(abc.ABC):
                 engine=self.name,
                 algorithm=self.program.name,
                 machines=self.pgraph.num_machines,
+                replication_factor=float(self.pgraph.replication_factor),
                 stats=self.sim.stats.to_dict(),
             )
         return EngineResult(

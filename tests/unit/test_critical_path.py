@@ -1,0 +1,179 @@
+"""Unit tests for the critical-path / straggler analyzer on synthetic traces.
+
+Built by hand so every gating rule is exercised deliberately: a compute-
+dominated leg gates on its slowest machine, a comm/sync leg on its
+priced channel, a settle leg (compute charge, no machine spans of its
+own) on the superstep's running straggler, and an all-idle superstep on
+the control barrier. The integration matrix checks the same invariants
+on real engine traces.
+"""
+
+import pytest
+
+from repro.obs.critical_path import analyze_trace, format_analysis
+from repro.obs.report import TraceData
+
+
+def _span(id_, parent, name, cat, t0, t1, charges=None, **attrs):
+    return {
+        "type": "span", "id": id_, "parent": parent, "name": name,
+        "cat": cat, "model_t0": t0, "model_t1": t1,
+        "charges": charges or {}, "attrs": attrs,
+    }
+
+
+def _machine_span(id_, parent, machine, busy_s, superstep):
+    # machine spans live on the host clock; model stamps are degenerate
+    s = _span(id_, parent, "work-machine", "machine", 0.0, 0.0,
+              machine=machine, busy_s=busy_s, superstep=superstep)
+    s.update(host_t0=0.0, host_t1=busy_s)
+    return s
+
+
+def _make_trace(with_ids=True):
+    """Three supersteps covering each gating rule, in emission order."""
+    spans = [
+        _span(1, None, "bootstrap", "phase", 0.0, 0.1,
+              {"compute": 0.1}),
+        # superstep 0: compute-dominated gather (machine 1 slower) wins
+        # over a comm-priced apply leg
+        _machine_span(2, 3, machine=0, busy_s=0.12, superstep=0),
+        _machine_span(4, 3, machine=1, busy_s=0.25, superstep=0),
+        _span(3, 7, "gather", "phase", 0.1, 0.35,
+              {"compute": 0.2, "comm": 0.05}, superstep=0),
+        _span(5, 7, "apply", "phase", 0.35, 0.5,
+              {"comm": 0.1, "sync": 0.05}, superstep=0),
+        _span(7, None, "superstep", "superstep", 0.1, 0.5, superstep=0),
+        # superstep 1: a comm-dominated coherency exchange (a2a wire)
+        _span(8, 9, "coherency", "phase", 0.5, 0.8,
+              {"comm": 0.25, "sync": 0.05}, superstep=1,
+              mode="all_to_all"),
+        _span(9, None, "superstep", "superstep", 0.5, 0.9, superstep=1),
+        # superstep 2: all legs zero-width -> idle, control barrier
+        _span(10, 11, "termination-probe", "phase", 0.9, 0.9, {},
+              superstep=2),
+        _span(11, None, "superstep", "superstep", 0.9, 0.9, superstep=2),
+    ]
+    if not with_ids:
+        spans = [
+            {k: v for k, v in s.items() if k not in ("id", "parent")}
+            for s in spans
+        ]
+    return TraceData(
+        spans=spans,
+        meta={
+            "engine": "toy", "algorithm": "pagerank", "machines": 2,
+            "replication_factor": 1.5,
+            "untracked_charges": {"comm": 0.05},
+            "stats": {"modeled_time_s": 0.95, "compute_skew": 1.3},
+        },
+    )
+
+
+class TestGatingRules:
+    def test_compute_leg_gates_on_slowest_machine(self):
+        a = analyze_trace(_make_trace())
+        gate = a["supersteps"][0]["gating"]
+        assert gate == {
+            "kind": "machine", "machine": 1, "busy_s": 0.25, "leg": "gather",
+        }
+
+    def test_comm_leg_gates_on_mode_channel(self):
+        a = analyze_trace(_make_trace())
+        gate = a["supersteps"][1]["gating"]
+        assert gate["kind"] == "channel"
+        assert gate["channel"] == "delta_a2a"
+        assert gate["leg"] == "coherency"
+
+    def test_idle_superstep_gates_on_control_barrier(self):
+        a = analyze_trace(_make_trace())
+        gate = a["supersteps"][2]["gating"]
+        assert gate == {
+            "kind": "channel", "channel": "control",
+            "leg": "termination-probe",
+        }
+
+    def test_every_superstep_names_a_gate(self):
+        a = analyze_trace(_make_trace())
+        for row in a["supersteps"]:
+            gate = row["gating"]
+            assert gate["kind"] in ("machine", "channel")
+            assert ("machine" in gate) or ("channel" in gate)
+
+    def test_settle_leg_falls_back_to_running_straggler(self):
+        # a compute-charged leg with no machine spans inherits the
+        # superstep's accumulated per-machine busy (machine-work instants)
+        trace = TraceData(
+            spans=[
+                _span(1, 2, "local-computation", "phase", 0.0, 0.0, {},
+                      superstep=0),
+                _span(3, 2, "coherency", "phase", 0.0, 0.4,
+                      {"compute": 0.3, "comm": 0.1}, superstep=0,
+                      mode="mirrors_to_master"),
+                _span(2, None, "superstep", "superstep", 0.0, 0.4,
+                      superstep=0),
+            ],
+            instants=[
+                {"type": "instant", "name": "machine-work",
+                 "attrs": {"machine": 0, "superstep": 0, "busy_s": 0.35}},
+                {"type": "instant", "name": "machine-work",
+                 "attrs": {"machine": 1, "superstep": 0, "busy_s": 0.15}},
+            ],
+            meta={"machines": 2, "stats": {"modeled_time_s": 0.4}},
+        )
+        a = analyze_trace(trace)
+        gate = a["supersteps"][0]["gating"]
+        assert gate["kind"] == "machine"
+        assert gate["machine"] == 0
+        assert gate["busy_s"] == pytest.approx(0.35)
+
+
+class TestAccounting:
+    def test_totals_tile_the_run(self):
+        a = analyze_trace(_make_trace())
+        assert a["bootstrap_s"] == pytest.approx(0.1)
+        assert a["supersteps_s"] == pytest.approx(0.8)
+        assert a["untracked_s"] == pytest.approx(0.05)
+        assert a["accounted_s"] == pytest.approx(a["total_modeled_s"])
+
+    def test_self_time_is_width_minus_legs(self):
+        a = analyze_trace(_make_trace())
+        # superstep 1 is 0.4 wide but its only leg covers 0.3
+        assert a["supersteps"][1]["self_s"] == pytest.approx(0.1)
+
+    def test_machine_and_straggler_summaries(self):
+        a = analyze_trace(_make_trace())
+        md = a["machines_detail"]
+        assert md["busy_s"] == [pytest.approx(0.12), pytest.approx(0.25)]
+        assert md["gated_supersteps"] == [0, 1]
+        st = a["stragglers"]
+        assert st["machine"] == 1
+        assert st["imbalance"] == pytest.approx(0.25 / 0.185)
+        assert st["replication_factor"] == 1.5
+        assert a["gated_channels"] == {"delta_a2a": 1, "control": 1}
+
+
+class TestOrderBasedFallback:
+    def test_chrome_style_trace_matches_id_based(self):
+        # Chrome traces carry no span ids; nesting is recovered from
+        # emission order (children close before parents)
+        assert analyze_trace(_make_trace(False)) == analyze_trace(_make_trace())
+
+
+class TestFormatting:
+    def test_text_report_names_gates_and_straggler(self):
+        text = format_analysis(analyze_trace(_make_trace()))
+        assert "machine 1" in text
+        assert "channel delta_a2a" in text
+        assert "straggler: machine 1" in text
+        assert "λ = 1.500" in text
+        assert "modeled-time accounting" in text
+
+    def test_max_rows_truncation(self):
+        text = format_analysis(analyze_trace(_make_trace()), max_rows=2)
+        assert "first 2 of 3" in text
+
+    def test_empty_trace_renders(self):
+        a = analyze_trace(TraceData(meta={"stats": {"modeled_time_s": 0.0}}))
+        assert a["supersteps"] == []
+        assert "critical-path analysis" in format_analysis(a)

@@ -171,6 +171,38 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             bucketless.quantile(1.5)
 
+    def test_histogram_quantiles_never_nan_on_infinite_observations(self):
+        # SSSP distances start at +inf; short runs can observe them
+        # directly. inf - inf in the interpolation used to yield NaN.
+        import math
+
+        both = Histogram("b", buckets=[1.0, 10.0])
+        both.observe(math.inf)
+        both.observe(-math.inf)
+        bucketless = Histogram("bl")
+        bucketless.observe(math.inf)
+        bucketless.observe(0.0)
+        single = Histogram("s", buckets=[1.0])
+        single.observe(math.inf)
+        for h in (both, bucketless, single):
+            for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+                assert not math.isnan(h.quantile(q)), (h.name, q)
+        # the exported quantiles (what `repro report` prints) are
+        # NaN-free too (sum/mean of a mixed ±inf stream stay undefined
+        # by design — that is the data, not an interpolation artifact)
+        for h in (both, bucketless, single):
+            export = h.export()
+            for key in ("p50", "p95", "p99", "min", "max"):
+                assert not math.isnan(export[key]), (h.name, key)
+
+    def test_histogram_single_bucket_single_observation(self):
+        # one observation landing in the open-ended last bucket: min ==
+        # max, so every quantile is the observation itself
+        h = Histogram("one", buckets=[1.0])
+        h.observe(5.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.99) == pytest.approx(5.0)
+
     def test_registry_get_or_create(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")

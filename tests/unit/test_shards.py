@@ -1,0 +1,142 @@
+"""Unit tests for the per-machine observability shards (repro.obs.shards).
+
+The shard discipline's contract is order-exactness: buffering events on
+machine-local collectors and merging at a barrier must reproduce, event
+for event, the stream a passthrough (legacy global-write) collector
+emits inline. The integration matrix proves this on whole engines; these
+tests pin the mechanism itself — (epoch, machine, seq) ordering, close-
+time sequencing, parent attribution, and the disabled-tracer fast path.
+"""
+
+from repro.obs.shards import MachineCollector, ShardedObs
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _drive(shards_or_none, tracer):
+    """Emit the same event pattern through shards or straight tracer.
+
+    Two machines, two machine-loop passes; machine 1 finishes its span
+    before machine 0 in host time would be impossible inline — the
+    lockstep engines iterate machine-ascending within a pass, which is
+    what the merge key reproduces.
+    """
+    if shards_or_none is None:
+        # the inline/legacy order: pass-major, machine-minor
+        for ep in range(2):
+            for m in range(2):
+                tracer.instant("pre", machine=m, ep=ep)
+                with tracer.span("work", category="machine", machine=m, ep=ep):
+                    pass
+        return
+    shards = shards_or_none
+    for ep in range(2):
+        shards.tick()
+        for m in range(2):
+            c = shards.collectors[m]
+            c.instant("pre", machine=m, ep=ep)
+            with c.span("work", machine=m, ep=ep):
+                pass
+    shards.merge()
+
+
+def _scrub(records):
+    out = []
+    for r in records:
+        out.append({
+            k: v for k, v in r.items()
+            if k not in ("host_t0", "host_t1", "host_t")
+        })
+    return out
+
+
+class TestMergeOrder:
+    def test_merge_reproduces_inline_order(self):
+        t_inline, t_shard = Tracer(), Tracer()
+        _drive(None, t_inline)
+        _drive(ShardedObs(t_shard, 2), t_shard)
+        assert _scrub(t_shard.records) == _scrub(t_inline.records)
+
+    def test_out_of_order_buffering_still_sorts(self):
+        # machines buffer in reverse order within a pass; the merge key
+        # (epoch, machine, seq) restores machine-ascending order
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 3)
+        shards.tick()
+        for m in (2, 0, 1):
+            shards.collectors[m].instant("e", machine=m)
+        shards.merge()
+        machines = [r["attrs"]["machine"] for r in tracer.records]
+        assert machines == [0, 1, 2]
+
+    def test_seq_stamped_at_span_close(self):
+        # an instant emitted while a buffered span is open lands BEFORE
+        # the span in the merged stream (records emit at close inline)
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 1)
+        shards.tick()
+        c = shards.collectors[0]
+        sp = c.span("outer", machine=0)
+        c.instant("inside", machine=0)
+        sp.end()
+        shards.merge()
+        assert [r["name"] for r in tracer.records] == ["inside", "outer"]
+
+    def test_merge_under_open_span_sets_parent(self):
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 1)
+        with tracer.span("phase", category="phase"):
+            shards.tick()
+            shards.collectors[0].span("work", machine=0).end()
+            shards.merge()
+        spans = {r["name"]: r for r in tracer.records if r["type"] == "span"}
+        assert spans["work"]["parent"] == spans["phase"]["id"]
+
+    def test_epochs_reset_after_merge(self):
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 2)
+        for _ in range(3):
+            shards.tick()
+            shards.collectors[1].instant("x", machine=1)
+        assert shards.collectors[1].epoch == 3
+        assert shards.merge() == 3
+        assert all(c.epoch == 0 for c in shards.collectors)
+        assert shards.merge() == 0  # drained
+
+
+class TestModes:
+    def test_passthrough_emits_immediately(self):
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 1)
+        shards.set_buffered(False)
+        assert not shards.buffered
+        shards.collectors[0].instant("now", machine=0)
+        assert [r["name"] for r in tracer.records] == ["now"]
+        assert shards.merge() == 0
+
+    def test_buffered_defers_until_merge(self):
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 1)
+        shards.tick()
+        shards.collectors[0].instant("later", machine=0)
+        assert tracer.records == []
+        assert shards.merge() == 1
+        assert [r["name"] for r in tracer.records] == ["later"]
+
+    def test_null_tracer_forces_passthrough(self):
+        c = MachineCollector(0, NULL_TRACER, buffered=True)
+        assert not c.buffered
+        c.instant("dropped")
+        with c.span("also-dropped"):
+            pass
+        assert c.events == []
+
+    def test_span_handle_set_and_context_manager(self):
+        tracer = Tracer()
+        shards = ShardedObs(tracer, 1)
+        shards.tick()
+        with shards.collectors[0].span("w", machine=0) as sp:
+            sp.set(edges=7)
+        shards.merge()
+        (rec,) = tracer.records
+        assert rec["attrs"]["edges"] == 7
+        assert rec["cat"] == "machine"
