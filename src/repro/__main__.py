@@ -1,7 +1,12 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Guarded so ``multiprocessing`` spawn workers (which re-import the main
+module as ``__mp_main__``) never re-run the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

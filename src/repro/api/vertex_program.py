@@ -120,9 +120,15 @@ class DeltaAlgebra:
         return self.idempotent or self.inverse_ufunc is not None
 
 
+def _abs_sum(v) -> float:
+    # module-level (not a lambda) so SUM_ALGEBRA stays picklable for
+    # spawn-based execution backends
+    return float(np.abs(v).sum())
+
+
 SUM_ALGEBRA = DeltaAlgebra(
     "sum", np.add, 0.0, inverse_ufunc=np.subtract, idempotent=False,
-    magnitude_fn=lambda v: float(np.abs(v).sum()),
+    magnitude_fn=_abs_sum,
 )
 MIN_ALGEBRA = DeltaAlgebra("min", np.minimum, np.inf, idempotent=True)
 MAX_ALGEBRA = DeltaAlgebra("max", np.maximum, -np.inf, idempotent=True)

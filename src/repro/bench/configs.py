@@ -86,6 +86,11 @@ class ExperimentConfig:
     #: ``policy_opts`` overlays ``--policy-opt``-style overrides.
     policy: Optional[str] = None
     policy_opts: Dict = field(default_factory=dict)
+    #: Execution backend (``"serial"`` / ``"process"``) and worker count
+    #: (process backend only; ``None`` = host CPU count capped at the
+    #: machine count). Results are bit-identical across backends.
+    backend: str = "serial"
+    workers: Optional[int] = None
     params: Dict = field(default_factory=dict)
 
     def resolved_params(self) -> Dict:

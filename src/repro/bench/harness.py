@@ -24,6 +24,7 @@ from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.backend import resolve_backend
 from repro.runtime.registry import get_engine
 from repro.runtime.result import EngineResult
 from repro.utils.timer import Timer
@@ -97,6 +98,8 @@ def run_config(
         config.seed,
         config.lens,
         tuple(sorted(config.lens_opts.items())),
+        config.backend,
+        config.workers,
         tuple(sorted(config.resolved_params().items())),
         split,
         network,
@@ -118,6 +121,10 @@ def run_config(
     )
     timer.lap("partition")
     kwargs = {"network": network}
+    if config.backend != "serial" or config.workers is not None:
+        kwargs["backend"] = resolve_backend(
+            config.backend, workers=config.workers, seed=config.seed
+        )
     if "controller" in spec.options:
         # a named policy wins over the legacy interval/coherency_mode
         # fields; the harness resolves silently (no deprecation noise —

@@ -30,6 +30,7 @@ from repro.graph.properties import compute_properties
 from repro.core.policy import get_policy, policy_names
 from repro.obs.sinks import TRACE_FORMATS
 from repro.run_api import ENGINE_NAMES, run
+from repro.runtime.backend import BACKEND_NAMES
 
 POLICY_NAMES = policy_names()
 
@@ -113,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--lens-rollup-every", type=int, metavar="K",
         help="lens sampling: probe cadence after the rollup point "
              "(default 100; implies --lens)",
+    )
+    p_run.add_argument(
+        "--backend", choices=list(BACKEND_NAMES),
+        help="execution backend: serial (inline lockstep, default) or "
+             "process (shared-memory worker pool, bit-identical results)",
+    )
+    p_run.add_argument(
+        "--workers", type=int, metavar="N",
+        help="worker-process count for --backend process "
+             "(default: host CPU count, capped at the machine count)",
     )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
@@ -270,6 +281,8 @@ def _cmd_run(args) -> int:
         trace_format=getattr(args, "trace_format", None) or "jsonl",
         lens=getattr(args, "lens", False),
         lens_opts=_lens_cli_opts(args) or None,
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
         **kwargs,
     )
     print(f"{result.engine}/{result.algorithm} on {args.graph} "

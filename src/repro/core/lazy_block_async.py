@@ -84,8 +84,12 @@ class LazyBlockAsyncEngine(BaseEngine):
         tracer=None,
         lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
+        backend=None,
     ) -> None:
-        super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
+        super().__init__(
+            pgraph, program, network, max_supersteps, trace, tracer,
+            backend=backend,
+        )
         if controller is not None and interval_model is not None:
             raise EngineError(
                 "pass either interval_model or controller, not both"
@@ -119,23 +123,21 @@ class LazyBlockAsyncEngine(BaseEngine):
         ``stage`` optionally accumulates per-machine ``(busy_s, edges,
         applies)`` for the stage's ``machine-work`` trace instants.
         """
-        net = self.sim.network
         worked = False
         slowest = 0.0
-        self.shards.tick()
-        for rt in self.runtimes:
-            idx, accum = rt.take_ready()
-            edges, _ = rt.apply_and_scatter(idx, accum, track_delta=True)
-            if idx.size:
+        results = self.backend.dispatch(
+            "apply_step", {"track_delta": True, "span": False}
+        )
+        for m, res in enumerate(results):
+            if res["applies"]:
                 worked = True
-                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
-                seconds = net.compute_time(edges, idx.size)
+                self.sim.add_compute(m, res["edges"], res["applies"])
+                seconds = res["busy_s"]
                 slowest = max(slowest, seconds)
                 if stage is not None:
-                    m = rt.mg.machine_id
                     stage[0][m] += seconds
-                    stage[1][m] += edges
-                    stage[2][m] += int(idx.size)
+                    stage[1][m] += res["edges"]
+                    stage[2][m] += res["applies"]
         return worked, slowest
 
     def _local_stage(self, step: int) -> None:
@@ -280,20 +282,12 @@ class LazyBlockAsyncEngine(BaseEngine):
 
                 # ---- data coherency point: Apply + Scatter ------------
                 with tracer.span("coherency-apply", category="phase"):
-                    self.shards.tick()
-                    net = sim.network
-                    for rt in self.runtimes:
-                        idx, accum = rt.take_ready()
-                        with self.shards.collectors[rt.mg.machine_id].span(
-                            "apply-machine",
-                            machine=rt.mg.machine_id, superstep=step,
-                        ) as msp:
-                            edges, _ = rt.apply_and_scatter(
-                                idx, accum, track_delta=True
-                            )
-                            msp.set(edges=edges, applies=int(idx.size),
-                                    busy_s=net.compute_time(edges, int(idx.size)))
-                        self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+                    results = self.backend.dispatch(
+                        "apply_step",
+                        {"track_delta": True, "span": True, "superstep": step},
+                    )
+                    for m, res in enumerate(results):
+                        self.sim.add_compute(m, res["edges"], res["applies"])
                     self.shards.merge()
                 sim.stats.supersteps += 1
         return False

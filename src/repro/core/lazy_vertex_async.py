@@ -78,8 +78,12 @@ class LazyVertexAsyncEngine(BaseEngine):
         tracer=None,
         lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
+        backend=None,
     ) -> None:
-        super().__init__(pgraph, program, network, max_supersteps, trace, tracer)
+        super().__init__(
+            pgraph, program, network, max_supersteps, trace, tracer,
+            backend=backend,
+        )
         if max_delta_age < 1:
             raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")
         self.max_delta_age = max_delta_age
@@ -117,7 +121,6 @@ class LazyVertexAsyncEngine(BaseEngine):
         lens = self.lens
         controller = self.controller
         shards = self.shards
-        net = sim.network
         tap = self._tap
         ev_ratio = self.pgraph.graph.ev_ratio
         for step in range(self.max_supersteps):
@@ -127,21 +130,14 @@ class LazyVertexAsyncEngine(BaseEngine):
                 with tracer.span("local-round", category="phase") as sp:
                     round_edges = 0
                     round_applies = 0
-                    shards.tick()
-                    for rt in self.runtimes:
-                        idx, accum = rt.take_ready()
-                        with shards.collectors[rt.mg.machine_id].span(
-                            "apply-machine",
-                            machine=rt.mg.machine_id, superstep=step,
-                        ) as msp:
-                            edges, _ = rt.apply_and_scatter(
-                                idx, accum, track_delta=True
-                            )
-                            msp.set(edges=edges, applies=int(idx.size),
-                                    busy_s=net.compute_time(edges, int(idx.size)))
-                        sim.add_compute(rt.mg.machine_id, edges, idx.size)
-                        round_edges += edges
-                        round_applies += int(idx.size)
+                    results = self.backend.dispatch(
+                        "apply_step",
+                        {"track_delta": True, "span": True, "superstep": step},
+                    )
+                    for m, res in enumerate(results):
+                        sim.add_compute(m, res["edges"], res["applies"])
+                        round_edges += res["edges"]
+                        round_applies += res["applies"]
                     shards.merge()
                     sp.set(edges=round_edges, applies=round_applies)
 

@@ -33,6 +33,10 @@ class ConvergenceError(EngineError):
     """Raised when an algorithm fails to converge within its budget."""
 
 
+class BackendError(EngineError):
+    """Raised when an execution backend (worker pool) fails or misbehaves."""
+
+
 class AlgorithmError(ReproError):
     """Raised for invalid vertex-program definitions or parameters."""
 

@@ -20,7 +20,15 @@ per-machine work span with its machine id and modeled busy seconds
   to the partition layer's replication factor λ (the paper's speedup
   predictor: a vertex-cut that lowers λ lowers exchange volume, but a
   *skewed* cut shifts the gate to one straggler machine — the two
-  numbers together say which lever matters).
+  numbers together say which lever matters);
+* **host wall-clock columns** — the same per-machine busy totals and
+  gating machines measured on the *host* clock (the width of each
+  machine span's ``host_t0``/``host_t1`` window). Under the serial
+  backend the two planes agree up to kernel constants; under the
+  process backend the host columns show the real parallel wall-clock
+  split across workers while the modeled columns stay bit-identical.
+  ``machine-work`` instants carry no host width, so lazy local-stage
+  host time attributes to the enclosing spans only.
 
 Accounting invariant (asserted by the integration tests): bootstrap +
 Σ superstep widths + untracked charges = ``RunStats.modeled_time_s``.
@@ -183,7 +191,9 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
     )
 
     busy_total: Dict[int, float] = {}
+    host_busy_total: Dict[int, float] = {}
     gated_machine: Dict[int, int] = {}
+    host_gated_machine: Dict[int, int] = {}
     gated_channel: Dict[str, int] = {}
     leg_totals: Dict[str, Dict[str, float]] = {}
     leg_order: List[str] = []
@@ -209,6 +219,7 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
             step_busy[m] = step_busy.get(m, 0.0) + busy
         legs: List[Dict[str, Any]] = []
         child_s = 0.0
+        step_host_busy: Dict[int, float] = {}
         for leg in ss.get("legs", []):
             name = leg["name"]
             model_s = float(leg["model_t1"] - leg["model_t0"])
@@ -226,6 +237,12 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
                     b = float(a.get("busy_s", 0.0))
                     busy_total[m] = busy_total.get(m, 0.0) + b
                     step_busy[m] = step_busy.get(m, 0.0) + b
+                    hb = float(
+                        sp.get("host_t1", 0.0) or 0.0
+                    ) - float(sp.get("host_t0", 0.0) or 0.0)
+                    if hb > 0.0:
+                        host_busy_total[m] = host_busy_total.get(m, 0.0) + hb
+                        step_host_busy[m] = step_host_busy.get(m, 0.0) + hb
             channel = _leg_channel(name, attrs)
             if machine is None and compute_s >= comm_s + sync_s and step_busy:
                 # a settle leg: charge came from earlier legs' machines
@@ -276,11 +293,27 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
             gated_channel[gate["channel"]] = (
                 gated_channel.get(gate["channel"], 0) + 1
             )
+        # host-clock gating machine: who actually burned the most host
+        # wall-clock inside this superstep's machine spans (None when no
+        # span carried a host width — e.g. an all-idle superstep)
+        if step_host_busy:
+            host_machine = min(
+                step_host_busy, key=lambda m: (-step_host_busy[m], m)
+            )
+            host_gated_machine[host_machine] = (
+                host_gated_machine.get(host_machine, 0) + 1
+            )
+            host_gate: Optional[Dict[str, Any]] = {
+                "machine": host_machine,
+                "host_busy_s": step_host_busy[host_machine],
+            }
+        else:
+            host_gate = None
         rows.append({
             "superstep": step, "model_s": width, "self_s": self_s,
             "model_t0": float(ss["model_t0"]),
             "model_t1": float(ss["model_t1"]),
-            "gating": gate, "legs": legs,
+            "gating": gate, "host_gating": host_gate, "legs": legs,
         })
 
     # bootstrap busy/machine attribution (its sweep instants carry no
@@ -292,10 +325,17 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
     stragglers: Dict[str, Any] = {}
     if num_machines:
         busy = [busy_total.get(m, 0.0) for m in range(num_machines)]
+        host_busy = [host_busy_total.get(m, 0.0) for m in range(num_machines)]
         total_busy = sum(busy)
+        total_host = sum(host_busy)
         mean_busy = total_busy / num_machines if num_machines else 0.0
         max_busy = max(busy) if busy else 0.0
         argmax = busy.index(max_busy) if busy else None
+        mean_host = total_host / num_machines if num_machines else 0.0
+        max_host = max(host_busy) if host_busy else 0.0
+        host_argmax = (
+            host_busy.index(max_host) if total_host > 0 else None
+        )
         machines_section = {
             "busy_s": busy,
             "share": [
@@ -304,12 +344,26 @@ def analyze_trace(trace: TraceData) -> Dict[str, Any]:
             "gated_supersteps": [
                 gated_machine.get(m, 0) for m in range(num_machines)
             ],
+            "host_busy_s": host_busy,
+            "host_share": [
+                (b / total_host if total_host > 0 else 0.0)
+                for b in host_busy
+            ],
+            "host_gated_supersteps": [
+                host_gated_machine.get(m, 0) for m in range(num_machines)
+            ],
         }
         stragglers = {
             "machine": argmax,
             "max_busy_s": max_busy,
             "mean_busy_s": mean_busy,
             "imbalance": (max_busy / mean_busy) if mean_busy > 0 else 1.0,
+            "host_machine": host_argmax,
+            "host_max_busy_s": max_host,
+            "host_mean_busy_s": mean_host,
+            "host_imbalance": (
+                (max_host / mean_host) if mean_host > 0 else 1.0
+            ),
             "compute_skew": stats.get("compute_skew"),
             "replication_factor": meta.get("replication_factor"),
         }
@@ -380,31 +434,48 @@ def format_analysis(analysis: Dict[str, Any], max_rows: int = 40) -> str:
     steps = analysis["supersteps"]
     step_rows = []
     shown = steps if len(steps) <= max_rows else steps[:max_rows]
+    have_host = any(row.get("host_gating") for row in steps)
     for row in shown:
-        step_rows.append([
+        cells = [
             row["superstep"], round(row["model_s"], 6),
             row["gating"].get("leg", "?"), _gate_label(row["gating"]),
-        ])
+        ]
+        if have_host:
+            hg = row.get("host_gating")
+            cells.append(f"machine {hg['machine']}" if hg else "-")
+        step_rows.append(cells)
     if step_rows:
         title = "per-superstep gating"
         if len(steps) > len(shown):
             title += f" (first {len(shown)} of {len(steps)})"
-        lines.append(format_table(
-            ["superstep", "model_s", "gating leg", "gated by"],
-            step_rows, title=title,
-        ))
+        headers = ["superstep", "model_s", "gating leg", "gated by"]
+        if have_host:
+            headers.append("host gate")
+        lines.append(format_table(headers, step_rows, title=title))
 
     md = analysis.get("machines_detail") or {}
     if md.get("busy_s"):
+        host_busy = md.get("host_busy_s") or []
+        have_host = any(b > 0.0 for b in host_busy)
         m_rows = []
         for m, b in enumerate(md["busy_s"]):
-            m_rows.append([
+            cells = [
                 m, round(b, 6), round(100.0 * md["share"][m], 1),
                 md["gated_supersteps"][m],
-            ])
+            ]
+            if have_host:
+                cells += [
+                    round(host_busy[m], 6),
+                    round(100.0 * md["host_share"][m], 1),
+                    md["host_gated_supersteps"][m],
+                ]
+            m_rows.append(cells)
+        headers = ["machine", "busy_s", "share %", "gated supersteps"]
+        if have_host:
+            headers += ["host_busy_s", "host %", "host gated"]
         lines.append(format_table(
-            ["machine", "busy_s", "share %", "gated supersteps"],
-            m_rows, title="per-machine load",
+            headers, m_rows, title="per-machine load (modeled | host clock)"
+            if have_host else "per-machine load",
         ))
 
     st = analysis.get("stragglers") or {}
@@ -412,11 +483,19 @@ def format_analysis(analysis: Dict[str, Any], max_rows: int = 40) -> str:
         imb = st.get("imbalance")
         skew = st.get("compute_skew")
         lam = st.get("replication_factor")
+        host_m = st.get("host_machine")
         parts = [
             f"straggler: machine {st.get('machine')}"
             f" (busy {st.get('max_busy_s', 0.0):.6f}s,"
             f" mean {st.get('mean_busy_s', 0.0):.6f}s)",
             f"imbalance max/mean = {imb:.3f}" if imb is not None else "",
+            (
+                f"host-clock straggler: machine {host_m}"
+                f" (host busy {st.get('host_max_busy_s', 0.0):.6f}s,"
+                f" mean {st.get('host_mean_busy_s', 0.0):.6f}s,"
+                f" imbalance {st.get('host_imbalance', 1.0):.3f})"
+                if host_m is not None else ""
+            ),
             f"compute skew = {skew:.3f}" if isinstance(skew, (int, float)) else "",
             (
                 f"replication factor λ = {lam:.3f} — λ prices the exchange "

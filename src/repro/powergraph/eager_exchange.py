@@ -80,10 +80,12 @@ class EagerExchange:
         runtimes: List[MachineRuntime],
         plane: Optional[ExchangePlane] = None,
         fine_grained: bool = False,
+        backend=None,
     ) -> None:
         self.pgraph = pgraph
         self.program = program
         self.runtimes = runtimes
+        self.backend = backend
         self.gather_ch = self.bcast_ch = self.one_edge_ch = None
         if plane is not None:
             schema = delta_schema(program)
@@ -94,8 +96,15 @@ class EagerExchange:
             else:
                 self.gather_ch = plane.open(GATHER, schema, Delivery.BSP)
                 self.bcast_ch = plane.open(BROADCAST, schema, Delivery.BSP)
-        self._total = np.empty(pgraph.graph.num_vertices, dtype=np.float64)
-        self._has = np.empty(pgraph.graph.num_vertices, dtype=bool)
+        n = pgraph.graph.num_vertices
+        if backend is not None:
+            # backend-visible staging: the apply leg runs where the
+            # machines run (worker processes for the process backend)
+            self._total = backend.shared_array("eager.total", (n,), np.float64)
+            self._has = backend.shared_array("eager.has", (n,), bool)
+        else:
+            self._total = np.empty(n, dtype=np.float64)
+            self._has = np.empty(n, dtype=bool)
 
     # ------------------------------------------------------------------
     def collect(self) -> EagerLegTraffic:
@@ -158,8 +167,16 @@ class EagerExchange:
         """Replay Apply+Scatter of the staged accums on every replica.
 
         Returns per-machine ``(edges, applies)`` work tuples for the
-        caller to charge as compute.
+        caller to charge as compute. With a backend attached this runs
+        as the ``eager_apply`` op (advancing the shard epoch, exactly
+        like the legacy pre-loop ``shards.tick()``); the plane-less
+        staging mode used by unit tests keeps the inline loop.
         """
+        if self.backend is not None:
+            results = self.backend.dispatch(
+                "eager_apply", {"track_delta": track_delta}
+            )
+            return [(res["edges"], res["applies"]) for res in results]
         work = []
         for rt in self.runtimes:
             sel = self._has[rt.mg.vertices]

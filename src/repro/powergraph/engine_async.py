@@ -45,7 +45,7 @@ class PowerGraphAsyncEngine(BaseEngine):
         shards = self.shards
         exchange = EagerExchange(
             self.pgraph, self.program, self.runtimes,
-            plane=self.comms, fine_grained=True,
+            plane=self.comms, fine_grained=True, backend=self.backend,
         )
         detector = TerminationDetector(sim, channel=self.comms.control)
         idle_flags = [True] * sim.num_machines
@@ -71,7 +71,8 @@ class PowerGraphAsyncEngine(BaseEngine):
                 detector.reset()
                 sent_total += traffic.total_msgs
                 with tracer.span("exchange-apply", category="phase") as sp:
-                    shards.tick()
+                    # apply_all dispatches eager_apply (epoch-advancing);
+                    # the second tick is for the parent-side work spans
                     work = exchange.apply_all(track_delta=False)
                     shards.tick()
                     for machine_id, (edges, applies) in enumerate(work):

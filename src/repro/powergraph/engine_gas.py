@@ -115,6 +115,7 @@ class PowerGraphGASSyncEngine(BaseEngine):
     """
 
     name = "powergraph-gas-sync"
+    worker_runtime = "gas"
 
     def _make_runtimes(self) -> List[_GASMachine]:
         return [_GASMachine(mg, self.program) for mg in self.pgraph.machines]
@@ -136,18 +137,19 @@ class PowerGraphGASSyncEngine(BaseEngine):
 
         # pull semantics: an "active" vertex re-gathers its in-edges, so
         # the initial frontier must also cover the out-neighbours of the
-        # initially-active vertices (they are who can see the seed data)
-        active = np.zeros(n, dtype=bool)
+        # initially-active vertices (they are who can see the seed data).
+        # The frontier and the staged accumulator live in backend shared
+        # arrays: the gather/apply ops read them wherever they run.
+        active = self.backend.shared_array("gas.active", (n,), bool, fill=False)
         for gm in self.runtimes:
             seed = prog.initially_active(gm.mg)
             active[gm.mg.vertices[seed]] = True
             active[gm.out_targets(np.flatnonzero(seed))] = True
 
-        total = np.empty(n, dtype=np.float64)
-        has = np.empty(n, dtype=bool)
+        total = self.backend.shared_array("gas.total", (n,), np.float64)
+        has = self.backend.shared_array("gas.has", (n,), bool)
         tracer = self.tracer
         shards = self.shards
-        net = sim.network
         for step in range(self.max_supersteps):
             if not active.any():
                 return True
@@ -157,23 +159,15 @@ class PowerGraphGASSyncEngine(BaseEngine):
                     total.fill(alg.identity)
                     has.fill(False)
                     gather_msgs = 0
-                    shards.tick()
-                    for gm in self.runtimes:
-                        local_active = active[gm.mg.vertices]
-                        with shards.collectors[gm.mg.machine_id].span(
-                            "gather-machine",
-                            machine=gm.mg.machine_id, superstep=step,
-                        ) as msp:
-                            idx, acc, edges = gm.gather(prog, local_active)
-                            msp.set(edges=edges, busy_s=net.compute_time(edges, 0))
-                        sim.add_compute(gm.mg.machine_id, edges, 0)
-                        if idx.size:
-                            gids = gm.mg.vertices[idx]
-                            alg.combine_at(total, gids, acc)
-                            has[gids] = True
-                            gather_msgs += int(
-                                np.count_nonzero(~gm.mg.is_master[idx])
-                            )
+                    results = self.backend.dispatch(
+                        "gas_gather", {"superstep": step}
+                    )
+                    for machine_id, res in enumerate(results):
+                        sim.add_compute(machine_id, res["edges"], 0)
+                        if res["gids"].size:
+                            alg.combine_at(total, res["gids"], res["acc"])
+                            has[res["gids"]] = True
+                            gather_msgs += res["mirrors"]
                     shards.merge()
                     vol1 = schema.bytes_for(gather_msgs)
                     sp.set(gather_msgs=gather_msgs, gather_bytes=vol1)
@@ -188,25 +182,15 @@ class PowerGraphGASSyncEngine(BaseEngine):
                     applied = np.flatnonzero(has)
                     bcast = int((self.pgraph.num_replicas[applied] - 1).sum())
                     next_active = np.zeros(n, dtype=bool)
-                    shards.tick()
-                    for gm in self.runtimes:
-                        sel = has[gm.mg.vertices]
-                        idx = np.flatnonzero(sel)
-                        if idx.size == 0:
+                    results = self.backend.dispatch(
+                        "gas_apply", {"superstep": step}
+                    )
+                    for machine_id, res in enumerate(results):
+                        if res["applies"] == 0:
                             continue
-                        with shards.collectors[gm.mg.machine_id].span(
-                            "apply-machine",
-                            machine=gm.mg.machine_id, superstep=step,
-                        ) as msp:
-                            changed = prog.apply(
-                                gm.mg, gm.state, idx, total[gm.mg.vertices[idx]]
-                            )
-                            msp.set(applies=int(idx.size),
-                                    busy_s=net.compute_time(0, int(idx.size)))
-                        sim.add_compute(gm.mg.machine_id, 0, idx.size)
-                        fired = idx[changed]
-                        if fired.size:
-                            next_active[gm.out_targets(fired)] = True
+                        sim.add_compute(machine_id, 0, res["applies"])
+                        if res["out_gids"].size:
+                            next_active[res["out_gids"]] = True
                     shards.merge()
                     vol2 = schema.bytes_for(bcast)
                     sp.set(bcast_msgs=bcast, bcast_bytes=vol2)
@@ -216,7 +200,7 @@ class PowerGraphGASSyncEngine(BaseEngine):
                 with tracer.span("scatter", category="phase"):
                     self.comms.control.barrier()  # sync #3
                 sim.stats.supersteps += 1
-                active = next_active
+                active[:] = next_active
                 if self.trace:
                     sim.stats.snapshot(
                         active=int(active.sum()), gather_msgs=gather_msgs,

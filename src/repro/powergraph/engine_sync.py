@@ -27,7 +27,8 @@ class PowerGraphSyncEngine(BaseEngine):
         tracer = self.tracer
         shards = self.shards
         exchange = EagerExchange(
-            self.pgraph, self.program, self.runtimes, plane=self.comms
+            self.pgraph, self.program, self.runtimes, plane=self.comms,
+            backend=self.backend,
         )
         self._bootstrap(track_delta=False)
 
@@ -44,7 +45,10 @@ class PowerGraphSyncEngine(BaseEngine):
 
                 # ---- apply on every replica + broadcast leg -----------
                 with tracer.span("apply", category="phase") as sp:
-                    shards.tick()
+                    # apply_all dispatches the eager_apply op (which
+                    # advances the shard epoch, replacing the legacy
+                    # pre-loop tick); the second tick opens the epoch
+                    # for the parent-side per-machine work spans
                     work = exchange.apply_all(track_delta=False)
                     shards.tick()
                     for machine_id, (edges, applies) in enumerate(work):

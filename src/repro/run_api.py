@@ -24,6 +24,7 @@ from repro.obs.sinks import TRACE_FORMATS, export_trace
 from repro.obs.tracer import Tracer
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.powergraph.gas import GASProgram
+from repro.runtime.backend import ExecutionBackend, resolve_backend
 from repro.runtime.registry import engine_names, get_engine
 from repro.runtime.result import EngineResult
 from repro.utils.rng import derive_seed
@@ -78,6 +79,8 @@ def run(
     tracer: Optional[Tracer] = None,
     lens: bool = False,
     lens_opts: Optional[dict] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    workers: Optional[int] = None,
     **algorithm_params,
 ) -> EngineResult:
     """Run one algorithm on one graph under one engine; return the result.
@@ -129,6 +132,15 @@ def run(
         :class:`~repro.obs.lens.CoherencyLens` keyword overrides
         (``sample_size`` / ``seed`` / ``rollup_after`` / ``rollup_every``
         / ``sharded``). A non-empty dict implies ``lens=True``.
+    backend:
+        Execution backend: ``"serial"`` (default — inline lockstep) or
+        ``"process"`` (a spawn-safe worker pool over shared-memory
+        machine runtimes; bit-identical results, real wall-clock
+        parallelism), or an
+        :class:`~repro.runtime.backend.ExecutionBackend` instance.
+    workers:
+        Worker-process count for ``backend="process"`` (default: host
+        CPU count, capped at the machine count).
     """
     if trace_format not in TRACE_FORMATS:
         raise ConfigError(
@@ -161,6 +173,8 @@ def run(
     kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
     if tracer is not None:
         kwargs["tracer"] = tracer
+    if backend is not None or workers is not None:
+        kwargs["backend"] = resolve_backend(backend, workers=workers, seed=seed)
     pol, explicit = resolve_policy(policy, interval, coherency_mode)
     if "controller" in spec.options:
         kwargs["controller"] = pol.make_controller()

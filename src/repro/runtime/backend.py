@@ -1,0 +1,157 @@
+"""Pluggable execution backends: where per-machine compute actually runs.
+
+Engines drive their machine loops through an :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — the default. Runs every op inline on the
+  engine thread, machine-ascending, exactly the legacy lockstep loop.
+* :class:`~repro.runtime.process_backend.ProcessBackend` — a persistent
+  pool of spawn-safe worker processes. Each worker owns a group of
+  machines whose runtime arrays live in ``multiprocessing.shared_memory``,
+  so the parent-side exchange plane / coherency / lens read and write the
+  *same* data the workers compute on; only op commands, small result
+  dicts, and :class:`MachineCollector` event buffers cross the process
+  boundary at barriers and coherency points.
+
+The backend contract (see :mod:`repro.runtime.machine_ops`):
+
+* ``dispatch(op, payload)`` advances the shard epoch (it replaces the
+  ``shards.tick()`` that preceded every legacy machine loop), runs the
+  op on every machine, and returns the per-machine result dicts in
+  ascending machine order. All model-time folds stay with the engine.
+* ``shared_array(key, ...)`` allocates a cross-machine array both sides
+  can see (plain NumPy for serial, shared memory for processes).
+* Backends are single-use: ``bind()`` once to one engine, ``close()``
+  when the run finishes (``BaseEngine.run`` does this in a finally).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.stats import KernelStats
+from repro.runtime.machine_ops import OpContext, run_op
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "resolve_backend",
+    "BACKEND_NAMES",
+]
+
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "process")
+
+
+class ExecutionBackend(abc.ABC):
+    """Where an engine's per-machine ops execute."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.engine = None
+
+    @abc.abstractmethod
+    def bind(self, engine) -> None:
+        """Attach to one engine (called once, from ``BaseEngine.__init__``)."""
+
+    @abc.abstractmethod
+    def dispatch(
+        self, op: str, payload: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Run ``op`` on every machine; results in ascending machine order."""
+
+    @abc.abstractmethod
+    def shared_array(
+        self, key: str, shape, dtype, fill=None
+    ) -> np.ndarray:
+        """Allocate a cross-machine array visible to engine and workers."""
+
+    @abc.abstractmethod
+    def kernel_stats(self) -> KernelStats:
+        """Merged per-machine kernel stats, folded in global machine order."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release workers/segments. Idempotent; safe after failures."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline lockstep execution — the bit-exactness reference."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.shared: Dict[str, np.ndarray] = {}
+
+    def bind(self, engine) -> None:
+        if self.engine is not None:
+            raise ConfigError("backend is already bound to an engine")
+        self.engine = engine
+
+    def dispatch(
+        self, op: str, payload: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        eng = self.engine
+        eng.shards.tick()
+        net = eng.sim.network
+        results = []
+        for rt in eng.runtimes:
+            mid = rt.mg.machine_id
+            ctx = OpContext(
+                machine_id=mid,
+                collector=eng.shards.collectors[mid],
+                net=net,
+                shared=self.shared,
+            )
+            results.append(run_op(op, rt, ctx, payload or {}))
+        return results
+
+    def shared_array(self, key: str, shape, dtype, fill=None) -> np.ndarray:
+        if key in self.shared:
+            raise ConfigError(f"shared array {key!r} already allocated")
+        arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
+        self.shared[key] = arr
+        return arr
+
+    def kernel_stats(self) -> KernelStats:
+        return KernelStats.merged(
+            rt.kernel_stats
+            for rt in self.engine.runtimes
+            if hasattr(rt, "kernel_stats")
+        )
+
+    def close(self) -> None:
+        pass
+
+
+def resolve_backend(
+    value, workers: Optional[int] = None, seed: int = 0
+) -> ExecutionBackend:
+    """Coerce a backend spec (name / instance / None) into a backend.
+
+    ``None`` and ``"serial"`` give the inline lockstep backend;
+    ``"process"`` gives a spawn-safe worker pool with ``workers``
+    processes (defaults to the host CPU count, capped at the machine
+    count). ``workers`` is only meaningful for the process backend.
+    """
+    if isinstance(value, ExecutionBackend):
+        return value
+    if value is None or value == "serial":
+        if workers is not None:
+            raise ConfigError(
+                "workers= requires the process backend (backend='process')"
+            )
+        return SerialBackend()
+    if value == "process":
+        from repro.runtime.process_backend import ProcessBackend
+
+        return ProcessBackend(workers=workers, seed=seed)
+    raise ConfigError(
+        f"unknown backend {value!r}; expected one of {BACKEND_NAMES}"
+    )

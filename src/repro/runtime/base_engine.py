@@ -5,8 +5,6 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import ClusterSim
 from repro.comms import ExchangePlane
@@ -16,6 +14,7 @@ from repro.obs.lens import NULL_LENS
 from repro.obs.shards import ShardedObs
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioned_graph import PartitionedGraph
+from repro.runtime.backend import ExecutionBackend, resolve_backend
 from repro.runtime.machine_runtime import MachineRuntime
 from repro.runtime.result import EngineResult, collect_values, replica_disagreement
 
@@ -39,6 +38,8 @@ class BaseEngine(abc.ABC):
     """
 
     name = "abstract-engine"
+    #: which per-machine runtime a backend worker should construct
+    worker_runtime = "delta"
 
     def __init__(
         self,
@@ -48,6 +49,7 @@ class BaseEngine(abc.ABC):
         max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS,
         trace: bool = False,
         tracer: Optional[Tracer] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         program.validate()
         if program.needs_weights and pgraph.graph.weights is None:
@@ -84,6 +86,12 @@ class BaseEngine(abc.ABC):
         # coherency lens (repro.obs.lens): the lazy engines swap in a
         # real CoherencyLens when asked; everything else keeps the no-op
         self.lens = NULL_LENS
+        # execution backend: where the per-machine ops actually run
+        # (inline by default; a worker pool for backend="process").
+        # Bound last — a process backend snapshots runtime arrays into
+        # shared memory and spawns its workers here.
+        self.backend = resolve_backend(backend)
+        self.backend.bind(self)
 
     def _make_runtimes(self) -> Sequence:
         """Build per-machine runtime state (override for non-delta engines)."""
@@ -101,16 +109,11 @@ class BaseEngine(abc.ABC):
         from the very first message on.
         """
         with self.tracer.span("bootstrap", category="phase"):
-            self.shards.tick()
-            for rt in self.runtimes:
-                init_delta, active = self.program.initial_scatter(rt.mg, rt.state)
-                idx = np.flatnonzero(active)
-                if init_delta is None:
-                    rt.has_msg[idx] = True
-                    edges = 0
-                else:
-                    edges = rt.scatter(idx, init_delta[idx], track_delta=track_delta)
-                self.sim.add_compute(rt.mg.machine_id, edges, idx.size)
+            results = self.backend.dispatch(
+                "bootstrap", {"track_delta": track_delta}
+            )
+            for machine_id, res in enumerate(results):
+                self.sim.add_compute(machine_id, res["edges"], res["applies"])
             self.shards.merge()
 
     def _globally_idle(self) -> bool:
@@ -122,48 +125,55 @@ class BaseEngine(abc.ABC):
         return sum(rt.num_active for rt in self.runtimes)
 
     def _kernel_stats(self) -> KernelStats:
-        """Merged per-kernel host timings across the machine runtimes."""
-        return KernelStats.merged(
-            rt.kernel_stats for rt in self.runtimes if hasattr(rt, "kernel_stats")
-        )
+        """Merged per-kernel host timings across the machine runtimes.
+
+        Delegated to the backend: worker pools hold the authoritative
+        per-machine stats in their own processes.
+        """
+        return self.backend.kernel_stats()
 
     # ------------------------------------------------------------------
     def run(self) -> EngineResult:
         """Execute to convergence (or ``max_supersteps``) and collect results."""
-        converged = self._execute()
-        self.sim.stats.converged = converged
-        # surface per-kernel host timings + sweep-mode counts (they ride
-        # into traces through RunStats.to_dict)
-        for key, val in self._kernel_stats().as_extra().items():
-            self.sim.stats.extra[key] = val
-        # per-channel ledgers ride along the same way (comms.<name>.*)
-        self.comms.publish(self.sim.stats)
-        # final drift measurement + lens.* summary extras (no-op when off)
-        self.lens.finish(converged)
-        if not converged:
-            raise ConvergenceError(
-                f"{self.name}/{self.program.name} did not converge within "
-                f"{self.max_supersteps} supersteps "
-                f"({self.sim.stats.summary()})"
-            )
-        if self.tracer.enabled:
-            self.tracer.finish(
+        try:
+            converged = self._execute()
+            self.sim.stats.converged = converged
+            # surface per-kernel host timings + sweep-mode counts (they ride
+            # into traces through RunStats.to_dict)
+            for key, val in self._kernel_stats().as_extra().items():
+                self.sim.stats.extra[key] = val
+            # per-channel ledgers ride along the same way (comms.<name>.*)
+            self.comms.publish(self.sim.stats)
+            # final drift measurement + lens.* summary extras (no-op when off)
+            self.lens.finish(converged)
+            if not converged:
+                raise ConvergenceError(
+                    f"{self.name}/{self.program.name} did not converge within "
+                    f"{self.max_supersteps} supersteps "
+                    f"({self.sim.stats.summary()})"
+                )
+            if self.tracer.enabled:
+                self.tracer.finish(
+                    engine=self.name,
+                    algorithm=self.program.name,
+                    machines=self.pgraph.num_machines,
+                    replication_factor=float(self.pgraph.replication_factor),
+                    stats=self.sim.stats.to_dict(),
+                )
+            return EngineResult(
+                values=collect_values(self.pgraph, self.runtimes),
+                stats=self.sim.stats,
                 engine=self.name,
                 algorithm=self.program.name,
-                machines=self.pgraph.num_machines,
-                replication_factor=float(self.pgraph.replication_factor),
-                stats=self.sim.stats.to_dict(),
+                replica_max_disagreement=replica_disagreement(
+                    self.pgraph, self.runtimes
+                ),
+                trace=self.tracer if self.tracer.enabled else None,
             )
-        return EngineResult(
-            values=collect_values(self.pgraph, self.runtimes),
-            stats=self.sim.stats,
-            engine=self.name,
-            algorithm=self.program.name,
-            replica_max_disagreement=replica_disagreement(
-                self.pgraph, self.runtimes
-            ),
-            trace=self.tracer if self.tracer.enabled else None,
-        )
+        finally:
+            # stop workers / release shared memory; runtime arrays are
+            # copied back so results stay valid after the pool is gone
+            self.backend.close()
 
     @abc.abstractmethod
     def _execute(self) -> bool:

@@ -1,0 +1,442 @@
+"""Process-parallel execution backend: spawn workers + shared memory.
+
+Topology
+--------
+``ProcessBackend.bind(engine)`` re-backs every per-machine runtime array
+(message mailboxes and program state; see
+:func:`~repro.runtime.machine_ops.runtime_shared_arrays`) with a
+``multiprocessing.shared_memory`` segment, then spawns a persistent pool
+of worker processes (spawn context, so everything shipped at init must
+be picklable). Machines are assigned round-robin: worker ``r`` owns
+every machine ``m`` with ``m % workers == r`` and builds its own
+:class:`MachineRuntime` / ``_GASMachine`` facades over the *same*
+segments. The parent keeps its runtime facades too — the exchange
+plane, coherency exchanger, lens, and signal taps all keep reading and
+writing the exact arrays the workers compute on, which is why every
+cross-machine code path stays byte-for-byte the serial code path.
+
+Protocol
+--------
+One duplex pipe per worker. ``dispatch(op, payload)`` advances the shard
+epoch, broadcasts ``("op", op, epoch, payload, announcements)`` (where
+announcements carry lazily-attached engine-level shared arrays such as
+the GAS frontier), and waits for every worker's reply. A worker runs the
+op on each owned machine in ascending order with its collector clock set
+to ``(epoch, seq=0)``, and replies with the per-machine result dicts
+plus the raw :class:`MachineCollector` event tuples, which the parent
+appends to its own collectors — so the engine's next
+``ShardedObs.merge()`` interleaves them in exactly the serial
+``(epoch, machine, seq)`` order. Strict request/reply sequencing means a
+worker is always quiescent between dispatches: the parent-side exchange
+legs that run between dispatches never race worker writes.
+
+Failure handling: any worker death, protocol error, or timeout raises
+:class:`~repro.errors.BackendError` after terminating the pool — a dead
+worker can never hang the barrier. ``close()`` copies runtime arrays
+back to private memory, stops the workers, and unlinks every segment;
+``BaseEngine.run`` calls it in a ``finally``. Workers share the
+parent's ``resource_tracker`` process (the fd rides along in the spawn
+preparation data) whose name cache is a set, so the worker-side attach
+re-registration dedupes and the parent's unlink-time unregister settles
+the books exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BackendError, ConfigError
+from repro.kernels.config import get_config, set_config
+from repro.kernels.stats import KernelStats
+from repro.obs.shards import MachineCollector
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.machine_ops import (
+    OpContext,
+    run_op,
+    runtime_shared_arrays,
+    set_runtime_array,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = ["ProcessBackend"]
+
+# (key, segment name or None when zero-sized, shape, dtype string)
+_ArraySpec = Tuple[str, Optional[str], Tuple[int, ...], str]
+
+
+def _attach_array(
+    name: Optional[str], shape, dtype
+) -> Tuple[np.ndarray, Optional[shared_memory.SharedMemory]]:
+    """Map a parent-owned segment into this process (worker side)."""
+    if name is None:  # zero-sized arrays are not shared
+        return np.empty(shape, dtype=np.dtype(dtype)), None
+    shm = shared_memory.SharedMemory(name=name)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf), shm
+
+
+class _BufferTracer:
+    """Minimal stand-in keeping worker collectors in buffered mode."""
+
+    enabled = True
+
+
+def _seed_worker(seed: int, rank: int) -> None:
+    """Deterministic per-worker RNG state, derived from the run seed."""
+    import random
+
+    child = derive_seed(seed, f"backend-worker-{rank}")
+    random.seed(child)
+    np.random.seed(child % 2**32)
+
+
+def _worker_main(conn, init: Dict[str, Any]) -> None:  # pragma: no cover
+    # covered by the equivalence matrix, but in a child process where
+    # coverage tooling cannot see it
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        _seed_worker(init["seed"], init["rank"])
+        set_config(**dataclasses.asdict(init["kernel_config"]))
+
+        program = init["program"]
+        tracer = _BufferTracer() if init["tracer_enabled"] else NULL_TRACER
+        runtimes: Dict[int, Any] = {}
+        collectors: Dict[int, MachineCollector] = {}
+        ctxs: Dict[int, OpContext] = {}
+        shared: Dict[str, np.ndarray] = {}
+        for mid in init["machines"]:
+            mg = init["mgs"][mid]
+            if init["runtime_kind"] == "gas":
+                from repro.powergraph.engine_gas import _GASMachine
+
+                rt = _GASMachine(mg, program)
+            else:
+                from repro.runtime.machine_runtime import MachineRuntime
+
+                rt = MachineRuntime(mg, program)
+            for key, name, shape, dtype in init["shm"][mid]:
+                arr, shm = _attach_array(name, shape, dtype)
+                if shm is not None:
+                    segments.append(shm)
+                set_runtime_array(rt, key, arr)
+            col = MachineCollector(mid, tracer, buffered=True)
+            if hasattr(rt, "obs"):
+                rt.obs = col
+            runtimes[mid] = rt
+            collectors[mid] = col
+            ctxs[mid] = OpContext(
+                machine_id=mid, collector=col,
+                net=init["network"], shared=shared,
+            )
+        conn.send(("ready", None))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "op":
+                _, op, epoch, payload, announcements = msg
+                try:
+                    for key, name, shape, dtype in announcements:
+                        arr, shm = _attach_array(name, shape, dtype)
+                        if shm is not None:
+                            segments.append(shm)
+                        shared[key] = arr
+                    replies = []
+                    for mid in init["machines"]:
+                        col = collectors[mid]
+                        col.epoch = epoch
+                        col._seq = 0
+                        result = run_op(op, runtimes[mid], ctxs[mid], payload)
+                        events = list(col.events)
+                        col.events.clear()
+                        replies.append((mid, result, events))
+                    conn.send(("ok", replies))
+                except Exception:
+                    conn.send(("error", traceback.format_exc()))
+            elif kind == "finalize":
+                stats = [
+                    (mid, getattr(runtimes[mid], "kernel_stats", None))
+                    for mid in init["machines"]
+                ]
+                conn.send(("stats", stats))
+            elif kind == "stop":
+                break
+    finally:
+        runtimes.clear()
+        ctxs.clear()
+        shared.clear()
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        conn.close()
+
+
+@dataclasses.dataclass
+class _Worker:
+    rank: int
+    proc: Any
+    conn: Any
+    machines: List[int]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent spawn-safe worker pool over shared-memory runtimes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        op_timeout: float = 300.0,
+        start_timeout: float = 120.0,
+    ) -> None:
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.seed = seed
+        self.op_timeout = op_timeout
+        self.start_timeout = start_timeout
+        self.shared: Dict[str, np.ndarray] = {}
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._runtime_views: List[Tuple[Any, str, np.ndarray]] = []
+        self._pending_ann: List[_ArraySpec] = []
+        self._pool: List[_Worker] = []
+        self._closed = False
+        self._failed = False
+        self.num_workers = 0
+        self.startup_s = 0.0
+
+    # ------------------------------------------------------------------
+    def _new_segment(
+        self, key: str, shape, dtype, init_from: Optional[np.ndarray] = None,
+        fill=None,
+    ) -> Tuple[np.ndarray, Optional[str]]:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes == 0:
+            arr = np.empty(shape, dtype=dtype)
+            return arr, None
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(shm)
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        if init_from is not None:
+            arr[...] = init_from
+        elif fill is not None:
+            arr.fill(fill)
+        return arr, shm.name
+
+    def bind(self, engine) -> None:
+        if self.engine is not None:
+            raise ConfigError("backend is already bound to an engine")
+        self.engine = engine
+        t0 = time.perf_counter()
+        num_machines = engine.pgraph.num_machines
+        requested = self.workers or (os.cpu_count() or 1)
+        self.num_workers = max(1, min(requested, num_machines))
+
+        # re-back every runtime array with a shared segment, in place:
+        # the parent-side exchange/coherency/lens code keeps its views
+        shm_specs: Dict[int, List[_ArraySpec]] = {}
+        for rt in engine.runtimes:
+            mid = rt.mg.machine_id
+            specs: List[_ArraySpec] = []
+            for key, arr in runtime_shared_arrays(rt).items():
+                view, name = self._new_segment(
+                    f"{mid}.{key}", arr.shape, arr.dtype, init_from=arr
+                )
+                set_runtime_array(rt, key, view)
+                self._runtime_views.append((rt, key, view))
+                specs.append((key, name, arr.shape, arr.dtype.str))
+            shm_specs[mid] = specs
+
+        ctx = mp.get_context("spawn")
+        kind = getattr(engine, "worker_runtime", "delta")
+        mgs = {rt.mg.machine_id: rt.mg for rt in engine.runtimes}
+        try:
+            for rank in range(self.num_workers):
+                owned = [
+                    m for m in range(num_machines)
+                    if m % self.num_workers == rank
+                ]
+                init = {
+                    "rank": rank,
+                    "seed": self.seed,
+                    "machines": owned,
+                    "mgs": {m: mgs[m] for m in owned},
+                    "program": engine.program,
+                    "runtime_kind": kind,
+                    "network": engine.sim.network,
+                    "kernel_config": get_config(),
+                    "tracer_enabled": engine.tracer.enabled,
+                    "shm": {m: shm_specs[m] for m in owned},
+                }
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn, init),
+                    daemon=True, name=f"repro-backend-{rank}",
+                )
+                proc.start()
+                child_conn.close()
+                self._pool.append(_Worker(rank, proc, parent_conn, owned))
+            for w in self._pool:
+                self._recv(w, self.start_timeout)  # ("ready", None)
+        except BaseException:
+            self._failed = True
+            self.close()
+            raise
+        self.startup_s = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def _terminate(self) -> None:
+        self._failed = True
+        for w in self._pool:
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+            if w.proc.is_alive():
+                w.proc.terminate()
+        for w in self._pool:
+            w.proc.join(timeout=5)
+        self._pool = []
+
+    def _fail(self, message: str) -> None:
+        self._terminate()
+        self.close()  # release segments now; nothing can use them again
+        raise BackendError(message)
+
+    def _recv(self, w: _Worker, timeout: float):
+        deadline = time.monotonic() + timeout
+        while not w.conn.poll(0.1):
+            if not w.proc.is_alive() and not w.conn.poll(0.0):
+                self._fail(
+                    f"backend worker {w.rank} died "
+                    f"(exit code {w.proc.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                self._fail(
+                    f"backend worker {w.rank} timed out after {timeout:.0f}s"
+                )
+        try:
+            msg = w.conn.recv()
+        except (EOFError, OSError):
+            self._fail(f"backend worker {w.rank} closed its pipe mid-reply")
+        if msg[0] == "error":
+            self._fail(f"backend worker {w.rank} failed:\n{msg[1]}")
+        return msg
+
+    def _send(self, w: _Worker, msg) -> None:
+        try:
+            w.conn.send(msg)
+        except (OSError, ValueError):
+            self._fail(f"backend worker {w.rank} is unreachable (dead pipe)")
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, op: str, payload: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        if self._failed or self._closed:
+            raise BackendError("process backend is closed or failed")
+        eng = self.engine
+        eng.shards.tick()
+        epoch = eng.shards.collectors[0].epoch
+        announcements = self._pending_ann
+        self._pending_ann = []
+        msg = ("op", op, epoch, payload or {}, announcements)
+        for w in self._pool:
+            self._send(w, msg)
+        results: Dict[int, Dict[str, Any]] = {}
+        for w in self._pool:
+            _, replies = self._recv(w, self.op_timeout)
+            for mid, result, events in replies:
+                results[mid] = result
+                if events:
+                    col = eng.shards.collectors[mid]
+                    col.events.extend(events)
+                    col._seq = max(col._seq, events[-1][1] + 1)
+        return [results[m] for m in range(eng.pgraph.num_machines)]
+
+    def shared_array(self, key: str, shape, dtype, fill=None) -> np.ndarray:
+        if key in self.shared:
+            raise ConfigError(f"shared array {key!r} already allocated")
+        arr, name = self._new_segment(key, tuple(shape), dtype, fill=fill)
+        self.shared[key] = arr
+        if name is not None:
+            self._pending_ann.append(
+                (key, name, tuple(shape), np.dtype(dtype).str)
+            )
+        return arr
+
+    def kernel_stats(self) -> KernelStats:
+        if self._failed or self._closed:
+            raise BackendError("process backend is closed or failed")
+        per_machine: Dict[int, KernelStats] = {}
+        for w in self._pool:
+            self._send(w, ("finalize",))
+        for w in self._pool:
+            _, stats = self._recv(w, self.op_timeout)
+            for mid, ks in stats:
+                if ks is not None:
+                    per_machine[mid] = ks
+        merged = KernelStats.merged(
+            per_machine[m] for m in sorted(per_machine)
+        )
+        # parent facades run no kernels in process mode, but stay in the
+        # fold so any parent-side staging cost is never silently dropped
+        for rt in self.engine.runtimes:
+            if hasattr(rt, "kernel_stats"):
+                merged.merge(rt.kernel_stats)
+        return merged
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if not self._failed:
+            for w in self._pool:
+                try:
+                    w.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for w in self._pool:
+                w.proc.join(timeout=5)
+        self._terminate()
+        # copy runtime arrays back to private memory so results stay
+        # valid (and poke-able by tests) after the segments are gone
+        for rt, key, view in self._runtime_views:
+            set_runtime_array(rt, key, np.array(view, copy=True))
+        self._runtime_views.clear()
+        self.shared.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # a stray external view; unlink anyway
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()

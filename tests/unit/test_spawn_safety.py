@@ -1,0 +1,82 @@
+"""Spawn-safety: everything a process-backend worker receives must pickle.
+
+The process backend ships the program, the kernel config, and the
+machine graphs to spawn-started workers; registries are the source of
+truth for what can end up in that payload, so the round-trips here are
+registry-driven — adding an engine, program flavour, or policy
+automatically extends the matrix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.core.policy import get_policy, policy_names
+from repro.runtime.registry import engine_names, engine_specs, get_engine
+
+ALGORITHMS = ("pagerank", "sssp", "cc", "kcore", "bfs")
+
+_PARAMS = {"kcore": {"k": 3}, "sssp": {"source": 0}, "bfs": {"source": 0}}
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.mark.parametrize("engine", engine_names())
+def test_engine_spec_class_picklable(engine):
+    spec = get_engine(engine)
+    cls = _roundtrip(spec.cls)
+    assert cls is spec.cls
+
+
+@pytest.mark.parametrize("engine", engine_names())
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_programs_picklable(engine, algorithm):
+    spec = get_engine(engine)
+    try:
+        program = spec.make_program(algorithm, **_PARAMS.get(algorithm, {}))
+    except Exception:
+        pytest.skip(f"{engine} has no {algorithm} flavour")
+    clone = _roundtrip(program)
+    assert clone.name == program.name
+    assert type(clone) is type(program)
+
+
+@pytest.mark.parametrize("name", policy_names())
+def test_policy_controllers_picklable(name):
+    pol = get_policy(name)
+    assert _roundtrip(pol) == pol
+    controller = pol.make_controller()
+    clone = _roundtrip(controller)
+    assert type(clone) is type(controller)
+
+
+def test_engine_spec_registry_entries_picklable():
+    for spec in engine_specs():
+        clone = _roundtrip(spec)
+        assert clone.name == spec.name
+        assert clone.cls is spec.cls
+
+
+def _spawn_echo(conn):
+    obj = conn.recv()
+    conn.send(obj.name)
+    conn.close()
+
+
+def test_program_crosses_spawn_boundary():
+    """One real spawn round-trip (not just pickle): program in, name out."""
+    ctx = mp.get_context("spawn")
+    program = get_engine("lazy-block").make_program("pagerank")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_spawn_echo, args=(child,), daemon=True)
+    proc.start()
+    child.close()
+    parent.send(program)
+    assert parent.recv() == program.name
+    proc.join(30)
+    assert proc.exitcode == 0
