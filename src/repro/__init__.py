@@ -60,15 +60,38 @@ from repro.powergraph import (
     PowerGraphGASSyncEngine,
     PowerGraphSyncEngine,
 )
-from repro.run_api import ENGINE_NAMES, prepare_graph, run
-from repro.runtime import EngineResult, EngineSpec, engine_specs, get_engine
+from repro.run_api import prepare_graph, run
+from repro.runtime import (
+    EngineResult,
+    EngineSpec,
+    RunConfig,
+    engine_names,
+    engine_specs,
+    get_engine,
+)
+from repro.serve import GraphService, QueryRequest, ServedResult
+from repro.session import GraphSession
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # live view of the engine registry (see repro.run_api.__getattr__):
+    # engines registered after import are visible here too
+    if name == "ENGINE_NAMES":
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "run",
     "prepare_graph",
     "ENGINE_NAMES",
+    "GraphSession",
+    "GraphService",
+    "QueryRequest",
+    "ServedResult",
+    "RunConfig",
+    "engine_names",
     "DiGraph",
     "load_dataset",
     "dataset_names",

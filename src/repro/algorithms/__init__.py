@@ -9,6 +9,7 @@ as ground truth in tests (:mod:`repro.algorithms.reference`).
 from repro.algorithms.bfs import BFSProgram
 from repro.algorithms.cc import ConnectedComponentsProgram
 from repro.algorithms.kcore import KCoreProgram
+from repro.algorithms.msbfs import MultiSourceBFSProgram
 from repro.algorithms.pagerank import PageRankDeltaProgram
 from repro.algorithms.ppr import PersonalizedPageRankProgram
 from repro.algorithms.sssp import SSSPProgram
@@ -30,6 +31,7 @@ __all__ = [
     "ConnectedComponentsProgram",
     "KCoreProgram",
     "BFSProgram",
+    "MultiSourceBFSProgram",
     "pagerank_reference",
     "ppr_reference",
     "sssp_reference",

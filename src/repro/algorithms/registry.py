@@ -12,6 +12,7 @@ from typing import Tuple
 from repro.algorithms.bfs import BFSProgram
 from repro.algorithms.cc import ConnectedComponentsProgram
 from repro.algorithms.kcore import KCoreProgram
+from repro.algorithms.msbfs import MultiSourceBFSProgram
 from repro.algorithms.pagerank import PageRankDeltaProgram
 from repro.algorithms.ppr import PersonalizedPageRankProgram
 from repro.algorithms.sssp import SSSPProgram
@@ -27,6 +28,7 @@ _FACTORIES = {
     "cc": ConnectedComponentsProgram,
     "kcore": KCoreProgram,
     "bfs": BFSProgram,
+    "msbfs": MultiSourceBFSProgram,
 }
 
 

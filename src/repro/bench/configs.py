@@ -101,3 +101,36 @@ class ExperimentConfig:
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.graph}@{self.machines}:{self.engine}"
+
+    def to_run_config(self):
+        """This experiment's run-level knobs as a shared ``RunConfig``.
+
+        Mapping notes: a named ``policy`` (plus ``policy_opts``) wins
+        over the legacy ``interval``/``coherency_mode`` fields — those
+        are this dataclass's own defaults, so they carry no deprecation
+        weight and are dropped when a policy is named; ``"serial"``
+        maps to backend ``None`` (the engine's default) so the harness
+        keeps constructing serial engines without an explicit backend
+        kwarg.
+        """
+        from repro.core.policy import get_policy
+        from repro.runtime.run_config import RunConfig
+
+        if self.policy is not None:
+            pol = get_policy(self.policy)
+            if self.policy_opts:
+                pol = pol.apply_opts(self.policy_opts)
+            policy, interval, mode = pol, None, None
+        else:
+            policy, interval, mode = None, self.interval, self.coherency_mode
+        return RunConfig(
+            engine=self.engine,
+            policy=policy,
+            interval=interval,
+            coherency_mode=mode,
+            lens=bool(self.lens or self.lens_opts),
+            lens_opts=dict(self.lens_opts) if self.lens_opts else None,
+            backend=None if self.backend == "serial" else self.backend,
+            workers=self.workers,
+            params=self.resolved_params(),
+        )

@@ -17,14 +17,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.bench.configs import ExperimentConfig
 from repro.cluster.network import NetworkModel
-from repro.core.policy import get_policy, resolve_policy
 from repro.core.transmission import build_lazy_graph
-from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.partition.partitioned_graph import PartitionedGraph
-from repro.runtime.backend import resolve_backend
 from repro.runtime.registry import get_engine
 from repro.runtime.result import EngineResult
 from repro.utils.timer import Timer
@@ -120,35 +117,16 @@ def run_config(
         graph, config.machines, config.partitioner, config.seed, split
     )
     timer.lap("partition")
-    kwargs = {"network": network}
-    if config.backend != "serial" or config.workers is not None:
-        kwargs["backend"] = resolve_backend(
-            config.backend, workers=config.workers, seed=config.seed
-        )
-    if "controller" in spec.options:
-        # a named policy wins over the legacy interval/coherency_mode
-        # fields; the harness resolves silently (no deprecation noise —
-        # the legacy fields are this dataclass's own defaults)
-        if config.policy is not None:
-            pol = get_policy(config.policy)
-            if config.policy_opts:
-                pol = pol.apply_opts(config.policy_opts)
-        else:
-            pol, _ = resolve_policy(
-                interval=config.interval,
-                coherency_mode=config.coherency_mode,
-                warn=False,
-            )
-        kwargs["controller"] = pol.make_controller()
-        kwargs["coherency_mode"] = pol.mode
-        if "max_delta_age" in spec.options:
-            kwargs["max_delta_age"] = pol.max_delta_age
-    if config.lens or config.lens_opts:
-        if "lens" not in spec.options:
-            raise ConfigError(
-                f"engine {config.engine!r} has no coherency lens"
-            )
-        kwargs["lens"] = dict(config.lens_opts) if config.lens_opts else True
+    # one shared resolve path (RunConfig.engine_kwargs) with the
+    # harness's historical leniency: no deprecation noise for the legacy
+    # interval fields (they are ExperimentConfig's own defaults), and no
+    # policy error on eager engines (strict_policy=False silently drops
+    # the defaults there)
+    rc = config.to_run_config()
+    rc.network = network
+    kwargs = rc.engine_kwargs(
+        spec, seed=config.seed, warn=False, strict_policy=False
+    )
     result = spec.cls(pgraph, program, **kwargs).run()
     timer.lap("engine")
     timer.stop()

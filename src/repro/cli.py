@@ -23,14 +23,16 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.algorithms import program_names
 from repro.bench.harness import compare_lazy_vs_sync
 from repro.bench.reporting import format_series, format_table
 from repro.graph.datasets import dataset_info, dataset_names, load_dataset
 from repro.graph.properties import compute_properties
 from repro.core.policy import get_policy, policy_names
 from repro.obs.sinks import TRACE_FORMATS
-from repro.run_api import ENGINE_NAMES, run
+from repro.run_api import run
 from repro.runtime.backend import BACKEND_NAMES
+from repro.runtime.registry import engine_names
 
 POLICY_NAMES = policy_names()
 
@@ -52,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--algorithm", "--algo",
             required=True,
-            choices=["pagerank", "ppr", "sssp", "cc", "kcore", "bfs"],
+            choices=list(program_names()),
         )
         p.add_argument("--machines", type=int, default=48)
         p.add_argument("--partitioner", default="coordinated")
@@ -63,10 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--seeds", help="comma-separated PPR seed vertices (e.g. 0,7,42)"
         )
+        p.add_argument(
+            "--sources",
+            help="comma-separated source vertices (msbfs / serving queries)",
+        )
 
     p_run = sub.add_parser("run", help="run one engine and print its stats")
     add_common(p_run)
-    p_run.add_argument("--engine", default="lazy-block", choices=list(ENGINE_NAMES))
+    p_run.add_argument(
+        "--engine", default="lazy-block", choices=list(engine_names())
+    )
     p_run.add_argument(
         "--policy", choices=list(POLICY_NAMES),
         help="named coherency policy (controller + interval + wire mode "
@@ -124,6 +132,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, metavar="N",
         help="worker-process count for --backend process "
              "(default: host CPU count, capped at the machine count)",
+    )
+
+    def add_serving(p):
+        p.add_argument(
+            "--engine", default="lazy-block", choices=list(engine_names())
+        )
+        p.add_argument(
+            "--policy", choices=list(POLICY_NAMES),
+            help="named coherency policy every query runs under",
+        )
+        p.add_argument(
+            "--max-batch", type=int, default=8,
+            help="max queries fused per batching window (default 8)",
+        )
+        p.add_argument(
+            "--max-wait", type=float, default=0.002,
+            help="seconds to wait for batchable stragglers (default 0.002)",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=128,
+            help="LRU capacity in distinct query keys (0 disables)",
+        )
+        p.add_argument(
+            "--batch-mode", default="fused", choices=["fused", "exact"],
+            help="fuse compatible point queries into one multi-source "
+                 "sweep (fused, default) or only share identical queries "
+                 "(exact)",
+        )
+        p.add_argument("--backend", choices=list(BACKEND_NAMES))
+        p.add_argument("--workers", type=int, metavar="N")
+        p.add_argument(
+            "--top", type=int, default=0,
+            help="include the top-N vertices in each answer",
+        )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="resident query service: one request per stdin line, one "
+             "JSON answer per line",
+    )
+    p_srv.add_argument("--graph", default="road-ca-mini")
+    p_srv.add_argument("--machines", type=int, default=48)
+    p_srv.add_argument("--partitioner", default="coordinated")
+    p_srv.add_argument("--seed", type=int, default=0)
+    add_serving(p_srv)
+
+    p_qry = sub.add_parser(
+        "query",
+        help="run one query through a resident session/service "
+             "(--repeat shows warm-session + cache behavior)",
+    )
+    add_common(p_qry)
+    add_serving(p_qry)
+    p_qry.add_argument(
+        "--repeat", type=int, default=1,
+        help="issue the query N times back-to-back (default 1)",
     )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
@@ -228,6 +292,8 @@ def _algorithm_params(args) -> dict:
         params["tolerance"] = args.tolerance
     if getattr(args, "seeds", None):
         params["seeds"] = [int(s) for s in args.seeds.split(",") if s]
+    if getattr(args, "sources", None):
+        params["sources"] = [int(s) for s in args.sources.split(",") if s]
     return params
 
 
@@ -298,6 +364,155 @@ def _cmd_run(args) -> int:
         order = np.argsort(result.values)[::-1][: args.top]
         rows = [[int(v), round(float(result.values[v]), 4)] for v in order]
         print(format_table(["vertex", "value"], rows, title=f"top {args.top}"))
+    return 0
+
+
+def _open_service(args):
+    """A (session, service) pair from serve/query arguments."""
+    from repro.serve import GraphService
+    from repro.session import GraphSession
+
+    session = GraphSession.open(
+        args.graph, machines=args.machines,
+        partitioner=args.partitioner, seed=args.seed,
+    )
+    service = GraphService(
+        session,
+        engine=args.engine,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        cache_size=args.cache_size,
+        batch_mode=args.batch_mode,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    return session, service
+
+
+def _served_row(served, top: int = 0) -> dict:
+    """One served answer as a JSON-serializable record."""
+    row = {
+        "algorithm": served.result.algorithm,
+        "engine": served.result.engine,
+        "sources": list(served.request.sources),
+        "sources_served": list(served.sources_served),
+        "cached": served.cached,
+        "batched": served.batched,
+        "batch_size": served.batch_size,
+        "latency_s": round(served.latency_s, 6),
+        "supersteps": served.result.stats.supersteps,
+        "modeled_time_s": round(served.result.stats.modeled_time_s, 6),
+        "converged": served.result.stats.converged,
+    }
+    if top:
+        values = served.result.values
+        order = np.argsort(values)[::-1][:top]
+        row["top"] = [[int(v), float(values[v])] for v in order]
+    return row
+
+
+def _parse_query_line(line: str) -> dict:
+    """One stdin request: JSON object, or ``<algorithm> [srcs] [k=v...]``."""
+    import json
+
+    if line.startswith("{"):
+        obj = json.loads(line)
+        return {
+            "algorithm": obj["algorithm"],
+            "sources": obj.get("sources", ()),
+            "params": obj.get("params", {}),
+        }
+    parts = line.split()
+    algorithm, sources, params = parts[0], (), {}
+    for token in parts[1:]:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            params[key] = _coerce_opt(value)
+        else:
+            sources = tuple(int(s) for s in token.split(",") if s)
+    return {"algorithm": algorithm, "sources": sources, "params": params}
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    session, service = _open_service(args)
+    with session, service:
+        print(
+            f"serving {args.graph} ({args.machines} machines, engine "
+            f"{args.engine}, batch={args.batch_mode}); one request per "
+            f"line: '<algorithm> [src,src,...] [k=v ...]' or JSON",
+            file=sys.stderr,
+        )
+        pending = []
+        errors = 0
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                req = _parse_query_line(line)
+                fut = service.submit(
+                    req["algorithm"], req["sources"], **req["params"]
+                )
+            except Exception as exc:
+                errors += 1
+                print(json.dumps({"error": str(exc), "line": line}))
+                continue
+            pending.append(fut)
+        for fut in pending:
+            try:
+                print(json.dumps(_served_row(fut.result(), top=args.top)))
+            except Exception as exc:
+                errors += 1
+                print(json.dumps({"error": str(exc)}))
+        print(json.dumps(service.stats()), file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _cmd_query(args) -> int:
+    params = _algorithm_params(args)
+    sources = params.pop("sources", [])
+    session, service = _open_service(args)
+    with session, service:
+        rows = []
+        for i in range(max(1, args.repeat)):
+            served = service.query(args.algorithm, sources, **params)
+            rows.append(
+                [
+                    i,
+                    round(served.latency_s * 1e3, 3),
+                    served.cached,
+                    served.batched,
+                    served.result.stats.supersteps,
+                ]
+            )
+        print(
+            format_table(
+                ["#", "latency_ms", "cached", "batched", "supersteps"],
+                rows,
+                title=f"{args.algorithm}{list(sources) or ''} on "
+                      f"{args.graph} ({args.machines} machines)",
+            )
+        )
+        if args.top:
+            values = served.result.values
+            order = np.argsort(values)[::-1][: args.top]
+            print(
+                format_table(
+                    ["vertex", "value"],
+                    [[int(v), round(float(values[v]), 4)] for v in order],
+                    title=f"top {args.top}",
+                )
+            )
+        stats = service.stats()
+        print(
+            f"runs={stats.get('serve.runs', 0):.0f} "
+            f"cache_hit_rate={stats['serve.cache_hit_rate']:.2f} "
+            f"(session reused the prepared graph/partition across "
+            f"{max(1, args.repeat)} queries)"
+        )
     return 0
 
 
@@ -556,6 +771,8 @@ def _cmd_figures(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "compare": _cmd_compare,
     "datasets": _cmd_datasets,
     "info": _cmd_info,

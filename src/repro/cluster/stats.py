@@ -184,6 +184,26 @@ class RunStats:
         out["metrics"] = self.metrics.export()
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunStats":
+        """Rebuild stats from :meth:`to_dict` output.
+
+        Dataclass counters are restored directly; the registry comes
+        back through :meth:`MetricsRegistry.from_export` (so ``extra``
+        keeps working — its ``extra.*`` counters live in the registry,
+        and the exported ``extra`` dict is redundant with them);
+        ``compute_skew`` is derived and ignored. The ``timeline`` is a
+        trace artifact and is not serialized — a restored instance has
+        an empty one.
+        """
+        known = {f.name for f in fields(cls)}
+        stats = cls(**{k: v for k, v in data.items() if k in known})
+        metrics = data.get("metrics")
+        if metrics:
+            stats.metrics = MetricsRegistry.from_export(metrics)
+            stats.extra = ExtraView(stats.metrics)
+        return stats
+
     # ------------------------------------------------------------------
     def summary(self) -> str:
         """One-line human-readable digest (used by examples and benches)."""

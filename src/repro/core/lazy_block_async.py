@@ -85,10 +85,11 @@ class LazyBlockAsyncEngine(BaseEngine):
         lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
         backend=None,
+        plans=None,
     ) -> None:
         super().__init__(
             pgraph, program, network, max_supersteps, trace, tracer,
-            backend=backend,
+            backend=backend, plans=plans,
         )
         if controller is not None and interval_model is not None:
             raise EngineError(

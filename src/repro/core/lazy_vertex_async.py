@@ -79,10 +79,11 @@ class LazyVertexAsyncEngine(BaseEngine):
         lens: "Union[bool, dict]" = False,
         controller: Optional[CoherencyController] = None,
         backend=None,
+        plans=None,
     ) -> None:
         super().__init__(
             pgraph, program, network, max_supersteps, trace, tracer,
-            backend=backend,
+            backend=backend, plans=plans,
         )
         if max_delta_age < 1:
             raise EngineError(f"max_delta_age must be >= 1, got {max_delta_age}")

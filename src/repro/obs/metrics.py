@@ -28,6 +28,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "RestoredSummary",
     "MetricsRegistry",
     "ExtraView",
 ]
@@ -203,6 +204,33 @@ class Histogram(Metric):
         return out
 
 
+class RestoredSummary(Metric):
+    """A deserialized histogram: the exported summary dict, verbatim.
+
+    Histograms export a lossy summary (count/sum/quantile estimates and
+    bucket tallies — not the raw observations), so a histogram restored
+    from an export cannot accept new observations. Storing the exported
+    dict as-is instead makes the round trip *exactly* stable:
+    ``export() == the dict it was restored from``, including the
+    ``le_*`` bucket keys, which is the property result serialization
+    (:meth:`repro.runtime.result.EngineResult.to_dict`) relies on.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        summary: Optional[Dict[str, float]] = None,
+    ) -> None:
+        super().__init__(name, description)
+        self.summary: Dict[str, float] = dict(summary or {})
+
+    def export(self) -> Dict[str, float]:
+        return dict(self.summary)
+
+
 class MetricsRegistry:
     """Get-or-create home for named instruments.
 
@@ -257,6 +285,30 @@ class MetricsRegistry:
     def export(self) -> Dict[str, Union[float, Dict[str, float]]]:
         """All instruments as plain JSON-serializable values."""
         return {name: m.export() for name, m in sorted(self._metrics.items())}
+
+    @classmethod
+    def from_export(
+        cls, exported: Dict[str, Union[float, Dict[str, float]]]
+    ) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`export` output.
+
+        The export format erases the Counter/Gauge distinction (both
+        export a bare float), so scalars come back as Counters — which
+        keeps the ``extra.*`` :class:`ExtraView` working — and summary
+        dicts come back as :class:`RestoredSummary` snapshots. A
+        restored registry is a read-only snapshot in spirit: it exports
+        exactly what went in, but histogram instruments cannot record
+        further observations.
+        """
+        reg = cls()
+        for name, value in exported.items():
+            if isinstance(value, dict):
+                reg._metrics[name] = RestoredSummary(name, summary=value)
+            else:
+                counter = Counter(name)
+                counter._set(float(value))
+                reg._metrics[name] = counter
+        return reg
 
 
 class ExtraView(MutableMapping):

@@ -36,13 +36,20 @@ class _GASMachine:
     full-CSR sweep).
     """
 
-    def __init__(self, mg: MachineGraph, program: GASProgram) -> None:
+    def __init__(
+        self, mg: MachineGraph, program: GASProgram, plans=None
+    ) -> None:
         self.mg = mg
         self.program = program
         self.state = program.make_state(mg)
         n = mg.num_local_vertices
-        self.in_plan = CSRPlan(mg.edst, n)
-        self.out_plan = CSRPlan(mg.esrc, n)
+        # plans: an optional cached (in_plan, out_plan) pair from a
+        # GraphSession — must describe this exact machine graph
+        if plans is not None:
+            self.in_plan, self.out_plan = plans
+        else:
+            self.in_plan = CSRPlan(mg.edst, n)
+            self.out_plan = CSRPlan(mg.esrc, n)
         self._acc_scratch = np.empty(n, dtype=np.float64)
 
     def values(self) -> np.ndarray:
@@ -118,7 +125,11 @@ class PowerGraphGASSyncEngine(BaseEngine):
     worker_runtime = "gas"
 
     def _make_runtimes(self) -> List[_GASMachine]:
-        return [_GASMachine(mg, self.program) for mg in self.pgraph.machines]
+        plans = self._plans or [None] * self.pgraph.num_machines
+        return [
+            _GASMachine(mg, self.program, plans=plans[i])
+            for i, mg in enumerate(self.pgraph.machines)
+        ]
 
     @property
     def machines(self) -> List[_GASMachine]:

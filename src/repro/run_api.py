@@ -5,6 +5,12 @@ Wires the whole pipeline — dataset lookup, graph preparation
 vertex-cut partitioning, optional edge splitting, engine construction —
 behind a single function, mirroring how the paper's toolkits are
 invoked (``./sssp --graph road_USA --engine lazy``).
+
+Since the session refactor this module is a thin shell: ``run()`` opens
+a throwaway :class:`~repro.session.GraphSession`, runs once, and closes
+it. Long-lived callers (benchmark sweeps, the serving layer) hold a
+session open instead and amortize graph preparation, partitioning, CSR
+planning, and worker-pool spawning across runs.
 """
 
 from __future__ import annotations
@@ -14,24 +20,31 @@ from typing import Optional, Union
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
 from repro.core.interval_model import IntervalModel
-from repro.core.policy import CoherencyPolicy, resolve_policy
-from repro.core.transmission import build_lazy_graph
+from repro.core.policy import CoherencyPolicy
 from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import attach_uniform_weights
-from repro.obs.sinks import TRACE_FORMATS, export_trace
 from repro.obs.tracer import Tracer
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.powergraph.gas import GASProgram
-from repro.runtime.backend import ExecutionBackend, resolve_backend
-from repro.runtime.registry import engine_names, get_engine
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.registry import engine_names
 from repro.runtime.result import EngineResult
+from repro.runtime.run_config import RunConfig
 from repro.utils.rng import derive_seed
 
 __all__ = ["run", "prepare_graph", "ENGINE_NAMES"]
 
-ENGINE_NAMES = engine_names()
+
+def __getattr__(name: str):
+    # ENGINE_NAMES used to be a module constant frozen at import time,
+    # which silently excluded engines registered afterwards. Resolving
+    # it lazily keeps the attribute API while always reflecting the
+    # live registry.
+    if name == "ENGINE_NAMES":
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def prepare_graph(
@@ -81,6 +94,7 @@ def run(
     lens_opts: Optional[dict] = None,
     backend: Union[str, ExecutionBackend, None] = None,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     **algorithm_params,
 ) -> EngineResult:
     """Run one algorithm on one graph under one engine; return the result.
@@ -141,59 +155,37 @@ def run(
     workers:
         Worker-process count for ``backend="process"`` (default: host
         CPU count, capped at the machine count).
+    config:
+        A prebuilt :class:`~repro.runtime.run_config.RunConfig` carrying
+        every run-level knob at once; mutually exclusive with the
+        individual run-level keyword arguments above.
     """
-    if trace_format not in TRACE_FORMATS:
-        raise ConfigError(
-            f"unknown trace format {trace_format!r}; known: "
-            f"{', '.join(TRACE_FORMATS)}"
-        )
-    spec = get_engine(engine)
-    if isinstance(algorithm, (DeltaProgram, GASProgram)):
-        if algorithm_params:
-            raise ConfigError(
-                "algorithm_params only apply when algorithm is given by name"
-            )
-        wanted = GASProgram if spec.program_api == "gas" else DeltaProgram
-        if not isinstance(algorithm, wanted):
-            raise ConfigError(
-                f"engine {engine!r} takes a {wanted.__name__}, got "
-                f"{type(algorithm).__name__} {algorithm.name!r}"
-            )
-        program = algorithm
-    else:
-        program = spec.make_program(algorithm, **algorithm_params)
+    from repro.session import GraphSession
 
-    g = prepare_graph(graph, program, seed=seed)
-    pgraph = build_lazy_graph(
-        g, machines, partitioner=partitioner, split_config=split, seed=seed
-    )
-
-    if tracer is None and trace_out is not None:
-        tracer = Tracer()
-    kwargs = {"network": network, "max_supersteps": max_supersteps, "trace": trace}
-    if tracer is not None:
-        kwargs["tracer"] = tracer
-    if backend is not None or workers is not None:
-        kwargs["backend"] = resolve_backend(backend, workers=workers, seed=seed)
-    pol, explicit = resolve_policy(policy, interval, coherency_mode)
-    if "controller" in spec.options:
-        kwargs["controller"] = pol.make_controller()
-        kwargs["coherency_mode"] = pol.mode
-        if "max_delta_age" in spec.options:
-            kwargs["max_delta_age"] = pol.max_delta_age
-    elif explicit:
-        raise ConfigError(
-            f"engine {engine!r} does not take an interval model / "
-            f"coherency policy (replicas are eagerly coherent)"
+    if config is None:
+        config = RunConfig(
+            engine=engine,
+            policy=policy,
+            interval=interval,
+            coherency_mode=coherency_mode,
+            network=network,
+            max_supersteps=max_supersteps,
+            trace=trace,
+            trace_out=trace_out,
+            trace_format=trace_format,
+            tracer=tracer,
+            lens=lens,
+            lens_opts=lens_opts,
+            backend=backend,
+            workers=workers,
+            params=dict(algorithm_params),
         )
-    if "lens" in spec.options:
-        kwargs["lens"] = dict(lens_opts) if lens_opts else lens
-    elif lens or lens_opts:
+    elif algorithm_params:
         raise ConfigError(
-            f"engine {engine!r} has no coherency lens (only the lazy "
-            f"engines defer replica coherency)"
+            "pass algorithm params inside config.params when using config="
         )
-    result = spec.cls(pgraph, program, **kwargs).run()
-    if trace_out is not None and result.trace is not None:
-        export_trace(result.trace, trace_out, trace_format)
-    return result
+    with GraphSession.open(
+        graph, machines=machines, partitioner=partitioner,
+        split=split, seed=seed,
+    ) as session:
+        return session.run(algorithm, config=config)

@@ -13,6 +13,7 @@ inline (serial) or on a shared-memory worker pool (process).
 
 from repro.runtime.machine_runtime import MachineRuntime
 from repro.runtime.result import EngineResult
+from repro.runtime.run_config import RunConfig
 from repro.runtime.backend import (
     BACKEND_NAMES,
     ExecutionBackend,
@@ -31,6 +32,7 @@ from repro.runtime.registry import (
 __all__ = [
     "MachineRuntime",
     "EngineResult",
+    "RunConfig",
     "BaseEngine",
     "EngineSpec",
     "engine_names",

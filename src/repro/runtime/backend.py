@@ -131,7 +131,7 @@ class SerialBackend(ExecutionBackend):
 
 
 def resolve_backend(
-    value, workers: Optional[int] = None, seed: int = 0
+    value, workers: Optional[int] = None, seed: int = 0, pool=None
 ) -> ExecutionBackend:
     """Coerce a backend spec (name / instance / None) into a backend.
 
@@ -139,6 +139,10 @@ def resolve_backend(
     ``"process"`` gives a spawn-safe worker pool with ``workers``
     processes (defaults to the host CPU count, capped at the machine
     count). ``workers`` is only meaningful for the process backend.
+    ``pool`` optionally hands a process backend a shared
+    :class:`~repro.runtime.process_backend.WorkerPool` (kept warm by a
+    :class:`~repro.session.GraphSession`) instead of a private one;
+    it is ignored for serial and pre-built backends.
     """
     if isinstance(value, ExecutionBackend):
         return value
@@ -151,7 +155,7 @@ def resolve_backend(
     if value == "process":
         from repro.runtime.process_backend import ProcessBackend
 
-        return ProcessBackend(workers=workers, seed=seed)
+        return ProcessBackend(workers=workers, seed=seed, pool=pool)
     raise ConfigError(
         f"unknown backend {value!r}; expected one of {BACKEND_NAMES}"
     )

@@ -50,6 +50,7 @@ class BaseEngine(abc.ABC):
         trace: bool = False,
         tracer: Optional[Tracer] = None,
         backend: Optional[ExecutionBackend] = None,
+        plans: Optional[Sequence] = None,
     ) -> None:
         program.validate()
         if program.needs_weights and pgraph.graph.weights is None:
@@ -75,6 +76,16 @@ class BaseEngine(abc.ABC):
         if self.tracer.enabled:
             self.tracer.bind_stats(self.sim.stats)
         self.comms = ExchangePlane(self.sim, tracer=self.tracer)
+        # optional per-machine cached CSR plans (one entry per machine,
+        # in machine order), supplied by a GraphSession so repeated runs
+        # skip the argsort-heavy plan construction; consumed by
+        # _make_runtimes
+        if plans is not None and len(plans) != pgraph.num_machines:
+            raise EngineError(
+                f"plans must have one entry per machine "
+                f"({len(plans)} != {pgraph.num_machines})"
+            )
+        self._plans = plans
         self.runtimes: List = list(self._make_runtimes())
         # per-machine observability shards (repro.obs.shards): machine
         # work spans / sweep instants buffer locally and fold into the
@@ -95,9 +106,10 @@ class BaseEngine(abc.ABC):
 
     def _make_runtimes(self) -> Sequence:
         """Build per-machine runtime state (override for non-delta engines)."""
+        plans = self._plans or [None] * self.pgraph.num_machines
         return [
-            MachineRuntime(mg, self.program, tracer=self.tracer)
-            for mg in self.pgraph.machines
+            MachineRuntime(mg, self.program, tracer=self.tracer, plan=plans[i])
+            for i, mg in enumerate(self.pgraph.machines)
         ]
 
     # ------------------------------------------------------------------

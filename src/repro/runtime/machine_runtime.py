@@ -69,7 +69,7 @@ class MachineRuntime:
     """One machine's buffers + kernels for one program run."""
 
     def __init__(
-        self, mg: MachineGraph, program: DeltaProgram, tracer=None
+        self, mg: MachineGraph, program: DeltaProgram, tracer=None, plan=None
     ) -> None:
         self.mg = mg
         self.program = program
@@ -83,8 +83,22 @@ class MachineRuntime:
         self.delta_msg = np.full(n, ident, dtype=np.float64)
         self.has_delta = np.zeros(n, dtype=bool)
         # local out-CSR plan: edge order, per-source slices, by-target
-        # grouping and scratch — computed once, reused every scatter
-        self.out_plan = CSRPlan(mg.esrc, n, dst=mg.edst)
+        # grouping and scratch — computed once, reused every scatter.
+        # A caller-provided plan (a GraphSession's per-machine cache)
+        # must describe this exact machine graph; plans carry no
+        # run-mutable state beyond reset-before-use scratch, so reuse
+        # across sequential runs is bit-identical to rebuilding.
+        if plan is not None:
+            if plan.num_slots != n or plan.num_edges != mg.esrc.size:
+                raise AlgorithmError(
+                    f"machine {mg.machine_id}: cached CSR plan does not "
+                    f"match the machine graph "
+                    f"({plan.num_slots}x{plan.num_edges} vs "
+                    f"{n}x{mg.esrc.size})"
+                )
+            self.out_plan = plan
+        else:
+            self.out_plan = CSRPlan(mg.esrc, n, dst=mg.edst)
         self.eorder = self.out_plan.eorder  # kept: tests/benches poke it
         self.out_indptr = self.out_plan.indptr
         self._epar_sorted = mg.eparallel[self.out_plan.eorder]

@@ -5,8 +5,8 @@ Topology
 ``ProcessBackend.bind(engine)`` re-backs every per-machine runtime array
 (message mailboxes and program state; see
 :func:`~repro.runtime.machine_ops.runtime_shared_arrays`) with a
-``multiprocessing.shared_memory`` segment, then spawns a persistent pool
-of worker processes (spawn context, so everything shipped at init must
+``multiprocessing.shared_memory`` segment, then binds a persistent pool
+of worker processes (spawn context, so everything shipped at bind must
 be picklable). Machines are assigned round-robin: worker ``r`` owns
 every machine ``m`` with ``m % workers == r`` and builds its own
 :class:`MachineRuntime` / ``_GASMachine`` facades over the *same*
@@ -17,28 +17,46 @@ cross-machine code path stays byte-for-byte the serial code path.
 
 Protocol
 --------
-One duplex pipe per worker. ``dispatch(op, payload)`` advances the shard
-epoch, broadcasts ``("op", op, epoch, payload, announcements)`` (where
-announcements carry lazily-attached engine-level shared arrays such as
-the GAS frontier), and waits for every worker's reply. A worker runs the
-op on each owned machine in ascending order with its collector clock set
-to ``(epoch, seq=0)``, and replies with the per-machine result dicts
-plus the raw :class:`MachineCollector` event tuples, which the parent
-appends to its own collectors — so the engine's next
-``ShardedObs.merge()`` interleaves them in exactly the serial
-``(epoch, machine, seq)`` order. Strict request/reply sequencing means a
-worker is always quiescent between dispatches: the parent-side exchange
-legs that run between dispatches never race worker writes.
+One duplex pipe per worker. A freshly spawned worker idles until it
+receives ``("bind", init)`` — the per-run payload (bind rank, run seed,
+owned machines, machine graphs, program, kernel config, shared-memory
+specs) that used to travel as spawn arguments. Binding re-seeds the
+worker RNG from the run seed (`derive_seed(seed, "backend-worker-r")`,
+exactly what spawn-time seeding did — no RNG is consumed between spawn
+and bind, so warm-pool runs stay bit-identical to cold spawns), builds
+the runtimes, attaches the segments, and acks ``("ready", None)``.
+
+``dispatch(op, payload)`` advances the shard epoch, broadcasts
+``("op", op, epoch, payload, announcements)`` (where announcements carry
+lazily-attached engine-level shared arrays such as the GAS frontier),
+and waits for every worker's reply. A worker runs the op on each owned
+machine in ascending order with its collector clock set to
+``(epoch, seq=0)``, and replies with the per-machine result dicts plus
+the raw :class:`MachineCollector` event tuples, which the parent appends
+to its own collectors — so the engine's next ``ShardedObs.merge()``
+interleaves them in exactly the serial ``(epoch, machine, seq)`` order.
+Strict request/reply sequencing means a worker is always quiescent
+between dispatches: the parent-side exchange legs that run between
+dispatches never race worker writes.
+
+``("unbind",)`` tears the per-run state down (runtimes dropped, segments
+closed) and acks ``("unbound", None)``; the worker then idles, ready for
+the next bind. That handshake is what makes workers *reusable*: a
+:class:`WorkerPool` keeps unbound workers alive across runs, so a
+long-lived :class:`~repro.session.GraphSession` pays the spawn cost once
+and every subsequent ``backend="process"`` run only pays the (cheap)
+bind.
 
 Failure handling: any worker death, protocol error, or timeout raises
 :class:`~repro.errors.BackendError` after terminating the pool — a dead
-worker can never hang the barrier. ``close()`` copies runtime arrays
-back to private memory, stops the workers, and unlinks every segment;
-``BaseEngine.run`` calls it in a ``finally``. Workers share the
-parent's ``resource_tracker`` process (the fd rides along in the spawn
-preparation data) whose name cache is a set, so the worker-side attach
-re-registration dedupes and the parent's unlink-time unregister settles
-the books exactly once.
+worker can never hang the barrier. ``close()`` unbinds the workers
+(returning healthy ones to a shared pool; terminating private or
+unhealthy ones), copies runtime arrays back to private memory, and
+unlinks every segment; ``BaseEngine.run`` calls it in a ``finally``.
+Workers share the parent's ``resource_tracker`` process (the fd rides
+along in the spawn preparation data) whose name cache is a set, so the
+worker-side attach re-registration dedupes and the parent's unlink-time
+unregister settles the books exactly once.
 """
 
 from __future__ import annotations
@@ -67,7 +85,7 @@ from repro.runtime.machine_ops import (
 )
 from repro.utils.rng import derive_seed
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "WorkerPool"]
 
 # (key, segment name or None when zero-sized, shape, dtype string)
 _ArraySpec = Tuple[str, Optional[str], Tuple[int, ...], str]
@@ -98,52 +116,71 @@ def _seed_worker(seed: int, rank: int) -> None:
     np.random.seed(child % 2**32)
 
 
-def _worker_main(conn, init: Dict[str, Any]) -> None:  # pragma: no cover
+def _worker_bind(init: Dict[str, Any]) -> Dict[str, Any]:  # pragma: no cover
+    """Build one run's worker-side state from a ``bind`` payload."""
+    _seed_worker(init["seed"], init["rank"])
+    set_config(**dataclasses.asdict(init["kernel_config"]))
+
+    program = init["program"]
+    tracer = _BufferTracer() if init["tracer_enabled"] else NULL_TRACER
+    segments: List[shared_memory.SharedMemory] = []
+    runtimes: Dict[int, Any] = {}
+    collectors: Dict[int, MachineCollector] = {}
+    ctxs: Dict[int, OpContext] = {}
+    shared: Dict[str, np.ndarray] = {}
+    for mid in init["machines"]:
+        mg = init["mgs"][mid]
+        if init["runtime_kind"] == "gas":
+            from repro.powergraph.engine_gas import _GASMachine
+
+            rt = _GASMachine(mg, program)
+        else:
+            from repro.runtime.machine_runtime import MachineRuntime
+
+            rt = MachineRuntime(mg, program)
+        for key, name, shape, dtype in init["shm"][mid]:
+            arr, shm = _attach_array(name, shape, dtype)
+            if shm is not None:
+                segments.append(shm)
+            set_runtime_array(rt, key, arr)
+        col = MachineCollector(mid, tracer, buffered=True)
+        if hasattr(rt, "obs"):
+            rt.obs = col
+        runtimes[mid] = rt
+        collectors[mid] = col
+        ctxs[mid] = OpContext(
+            machine_id=mid, collector=col,
+            net=init["network"], shared=shared,
+        )
+    return {
+        "machines": init["machines"],
+        "runtimes": runtimes,
+        "collectors": collectors,
+        "ctxs": ctxs,
+        "shared": shared,
+        "segments": segments,
+    }
+
+
+def _worker_unbind(state: Optional[Dict[str, Any]]) -> None:  # pragma: no cover
+    """Drop one run's worker-side state and release its segment handles."""
+    if state is None:
+        return
+    state["runtimes"].clear()
+    state["ctxs"].clear()
+    state["shared"].clear()
+    for shm in state["segments"]:
+        try:
+            shm.close()
+        except BufferError:
+            pass
+    state["segments"].clear()
+
+
+def _worker_main(conn) -> None:  # pragma: no cover
     # covered by the equivalence matrix, but in a child process where
     # coverage tooling cannot see it
-    segments: List[shared_memory.SharedMemory] = []
-    try:
-        _seed_worker(init["seed"], init["rank"])
-        set_config(**dataclasses.asdict(init["kernel_config"]))
-
-        program = init["program"]
-        tracer = _BufferTracer() if init["tracer_enabled"] else NULL_TRACER
-        runtimes: Dict[int, Any] = {}
-        collectors: Dict[int, MachineCollector] = {}
-        ctxs: Dict[int, OpContext] = {}
-        shared: Dict[str, np.ndarray] = {}
-        for mid in init["machines"]:
-            mg = init["mgs"][mid]
-            if init["runtime_kind"] == "gas":
-                from repro.powergraph.engine_gas import _GASMachine
-
-                rt = _GASMachine(mg, program)
-            else:
-                from repro.runtime.machine_runtime import MachineRuntime
-
-                rt = MachineRuntime(mg, program)
-            for key, name, shape, dtype in init["shm"][mid]:
-                arr, shm = _attach_array(name, shape, dtype)
-                if shm is not None:
-                    segments.append(shm)
-                set_runtime_array(rt, key, arr)
-            col = MachineCollector(mid, tracer, buffered=True)
-            if hasattr(rt, "obs"):
-                rt.obs = col
-            runtimes[mid] = rt
-            collectors[mid] = col
-            ctxs[mid] = OpContext(
-                machine_id=mid, collector=col,
-                net=init["network"], shared=shared,
-            )
-        conn.send(("ready", None))
-    except Exception:
-        try:
-            conn.send(("error", traceback.format_exc()))
-        finally:
-            conn.close()
-        return
-
+    state: Optional[Dict[str, Any]] = None
     try:
         while True:
             try:
@@ -151,20 +188,30 @@ def _worker_main(conn, init: Dict[str, Any]) -> None:  # pragma: no cover
             except (EOFError, OSError):
                 break
             kind = msg[0]
-            if kind == "op":
+            if kind == "bind":
+                try:
+                    state = _worker_bind(msg[1])
+                    conn.send(("ready", None))
+                except Exception:
+                    state = None
+                    conn.send(("error", traceback.format_exc()))
+            elif kind == "op":
                 _, op, epoch, payload, announcements = msg
                 try:
                     for key, name, shape, dtype in announcements:
                         arr, shm = _attach_array(name, shape, dtype)
                         if shm is not None:
-                            segments.append(shm)
-                        shared[key] = arr
+                            state["segments"].append(shm)
+                        state["shared"][key] = arr
                     replies = []
-                    for mid in init["machines"]:
-                        col = collectors[mid]
+                    for mid in state["machines"]:
+                        col = state["collectors"][mid]
                         col.epoch = epoch
                         col._seq = 0
-                        result = run_op(op, runtimes[mid], ctxs[mid], payload)
+                        result = run_op(
+                            op, state["runtimes"][mid], state["ctxs"][mid],
+                            payload,
+                        )
                         events = list(col.events)
                         col.events.clear()
                         replies.append((mid, result, events))
@@ -173,22 +220,123 @@ def _worker_main(conn, init: Dict[str, Any]) -> None:  # pragma: no cover
                     conn.send(("error", traceback.format_exc()))
             elif kind == "finalize":
                 stats = [
-                    (mid, getattr(runtimes[mid], "kernel_stats", None))
-                    for mid in init["machines"]
+                    (mid, getattr(state["runtimes"][mid], "kernel_stats", None))
+                    for mid in state["machines"]
                 ]
                 conn.send(("stats", stats))
+            elif kind == "unbind":
+                _worker_unbind(state)
+                state = None
+                conn.send(("unbound", None))
             elif kind == "stop":
                 break
     finally:
-        runtimes.clear()
-        ctxs.clear()
-        shared.clear()
-        for shm in segments:
-            try:
-                shm.close()
-            except BufferError:
-                pass
+        _worker_unbind(state)
         conn.close()
+
+
+# (process handle, parent end of its duplex pipe)
+_PoolMember = Tuple[Any, Any]
+
+
+class WorkerPool:
+    """Reusable spawn-context worker processes, shared across backends.
+
+    A fresh worker is protocol-idle until it receives a ``bind``; an
+    unbound worker is indistinguishable from a fresh one (per-run RNG,
+    kernel config, runtimes and segments all arrive at bind), so
+    returning workers to the pool and re-binding them later is
+    bit-identical to spawning anew — minus the spawn cost, which is the
+    point. A :class:`~repro.session.GraphSession` keeps one pool warm
+    for its lifetime; a standalone :class:`ProcessBackend` creates a
+    private pool and closes it with the run.
+    """
+
+    def __init__(self) -> None:
+        self._idle: List[_PoolMember] = []
+        self._closed = False
+        #: total processes ever spawned (observability/testing)
+        self.spawned = 0
+
+    # ------------------------------------------------------------------
+    def _spawn_one(self) -> _PoolMember:
+        ctx = mp.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main, args=(child_conn,),
+            daemon=True, name=f"repro-backend-{self.spawned}",
+        )
+        proc.start()
+        child_conn.close()
+        self.spawned += 1
+        return (proc, parent_conn)
+
+    @property
+    def idle_workers(self) -> int:
+        """Live workers currently parked in the pool."""
+        return sum(1 for proc, _ in self._idle if proc.is_alive())
+
+    def warm(self, count: int) -> None:
+        """Pre-spawn workers so the first run does not pay the spawn."""
+        while self.idle_workers < count:
+            self._idle.append(self._spawn_one())
+
+    def acquire(self, count: int) -> List[_PoolMember]:
+        """Hand out ``count`` live workers (reused when possible)."""
+        if self._closed:
+            raise BackendError("worker pool is closed")
+        out: List[_PoolMember] = []
+        while self._idle and len(out) < count:
+            proc, conn = self._idle.pop()
+            if proc.is_alive():
+                out.append((proc, conn))
+            else:  # died while idle: drop silently, spawn a replacement
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        while len(out) < count:
+            out.append(self._spawn_one())
+        return out
+
+    def release(self, members: List[_PoolMember]) -> None:
+        """Return quiescent (unbound, healthy) workers for reuse."""
+        if self._closed:
+            self.discard(members)
+            return
+        self._idle.extend(members)
+
+    def discard(self, members: List[_PoolMember], graceful: bool = False) -> None:
+        """Stop workers that will not be reused (dead, failed, or done)."""
+        for proc, conn in members:
+            if graceful and proc.is_alive():
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+                proc.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+        for proc, _ in members:
+            proc.join(timeout=5)
+
+    def close(self) -> None:
+        """Stop every idle worker; further ``acquire`` calls fail."""
+        if self._closed:
+            return
+        self._closed = True
+        idle, self._idle = self._idle, []
+        self.discard(idle, graceful=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclasses.dataclass
@@ -210,6 +358,7 @@ class ProcessBackend(ExecutionBackend):
         seed: int = 0,
         op_timeout: float = 300.0,
         start_timeout: float = 120.0,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         super().__init__()
         if workers is not None and workers < 1:
@@ -218,6 +367,10 @@ class ProcessBackend(ExecutionBackend):
         self.seed = seed
         self.op_timeout = op_timeout
         self.start_timeout = start_timeout
+        # shared pool (kept alive by its owner, e.g. a GraphSession) vs
+        # a private pool created here and closed with this backend
+        self._workers_pool = pool if pool is not None else WorkerPool()
+        self._own_pool = pool is None
         self.shared: Dict[str, np.ndarray] = {}
         self._segments: List[shared_memory.SharedMemory] = []
         self._runtime_views: List[Tuple[Any, str, np.ndarray]] = []
@@ -271,11 +424,11 @@ class ProcessBackend(ExecutionBackend):
                 specs.append((key, name, arr.shape, arr.dtype.str))
             shm_specs[mid] = specs
 
-        ctx = mp.get_context("spawn")
         kind = getattr(engine, "worker_runtime", "delta")
         mgs = {rt.mg.machine_id: rt.mg for rt in engine.runtimes}
         try:
-            for rank in range(self.num_workers):
+            members = self._workers_pool.acquire(self.num_workers)
+            for rank, (proc, conn) in enumerate(members):
                 owned = [
                     m for m in range(num_machines)
                     if m % self.num_workers == rank
@@ -292,14 +445,9 @@ class ProcessBackend(ExecutionBackend):
                     "tracer_enabled": engine.tracer.enabled,
                     "shm": {m: shm_specs[m] for m in owned},
                 }
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main, args=(child_conn, init),
-                    daemon=True, name=f"repro-backend-{rank}",
-                )
-                proc.start()
-                child_conn.close()
-                self._pool.append(_Worker(rank, proc, parent_conn, owned))
+                w = _Worker(rank, proc, conn, owned)
+                self._pool.append(w)
+                self._send(w, ("bind", init))
             for w in self._pool:
                 self._recv(w, self.start_timeout)  # ("ready", None)
         except BaseException:
@@ -411,19 +559,51 @@ class ProcessBackend(ExecutionBackend):
         return merged
 
     # ------------------------------------------------------------------
+    def _await_unbound(self, w: _Worker) -> bool:
+        """Wait for a worker's unbind ack; False on any failure.
+
+        Close-path variant of :meth:`_recv`: never raises (``close()``
+        runs in ``BaseEngine.run``'s finally and must not mask results).
+        """
+        deadline = time.monotonic() + min(self.op_timeout, 30.0)
+        try:
+            while not w.conn.poll(0.1):
+                if not w.proc.is_alive():
+                    return False
+                if time.monotonic() > deadline:
+                    return False
+            msg = w.conn.recv()
+        except (EOFError, OSError):
+            return False
+        return bool(msg) and msg[0] == "unbound"
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        if not self._failed:
+        if not self._failed and self._pool:
+            # quiesce the workers: drop per-run state, detach segments,
+            # then park the healthy ones back in the pool for reuse
+            pending: List[_Worker] = []
+            dead: List[_Worker] = []
             for w in self._pool:
                 try:
-                    w.conn.send(("stop",))
+                    w.conn.send(("unbind",))
+                    pending.append(w)
                 except (OSError, ValueError):
-                    pass
-            for w in self._pool:
-                w.proc.join(timeout=5)
-        self._terminate()
+                    dead.append(w)
+            healthy = []
+            for w in pending:
+                (healthy if self._await_unbound(w) else dead).append(w)
+            self._workers_pool.release([(w.proc, w.conn) for w in healthy])
+            self._workers_pool.discard(
+                [(w.proc, w.conn) for w in dead], graceful=False
+            )
+            self._pool = []
+        else:
+            self._terminate()
+        if self._own_pool:
+            self._workers_pool.close()
         # copy runtime arrays back to private memory so results stay
         # valid (and poke-able by tests) after the segments are gone
         for rt, key, view in self._runtime_views:

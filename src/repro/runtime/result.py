@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -84,4 +84,35 @@ class EngineResult:
         return (
             f"EngineResult({self.engine}/{self.algorithm}: "
             f"{self.stats.summary()})"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump (caches, wire transfer, archives).
+
+        ``values`` become a plain list (floats round-trip exactly
+        through Python's repr, and non-strict ``json`` handles the
+        ``inf`` sentinels SSSP/BFS leave on unreachable vertices);
+        ``stats`` ride through :meth:`RunStats.to_dict`. The live
+        ``trace`` object is *not* serialized — export it separately
+        with :func:`repro.obs.export_trace` if you need it.
+        """
+        return {
+            "values": np.asarray(self.values, dtype=np.float64).tolist(),
+            "stats": self.stats.to_dict(),
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "replica_max_disagreement": float(self.replica_max_disagreement),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineResult":
+        """Rebuild a result from :meth:`to_dict` output (``trace=None``)."""
+        return cls(
+            values=np.asarray(data["values"], dtype=np.float64),
+            stats=RunStats.from_dict(data["stats"]),
+            engine=data["engine"],
+            algorithm=data["algorithm"],
+            replica_max_disagreement=float(data["replica_max_disagreement"]),
+            trace=None,
         )

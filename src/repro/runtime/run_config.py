@@ -1,0 +1,161 @@
+"""One declarative run configuration shared by every entry point.
+
+``repro.run(...)`` grew ~20 keyword arguments; the bench harness, the
+CLI and the serving layer each re-implemented the same kwarg-assembly
+dance (policy resolution, backend selection, lens gating) with subtly
+different strictness. :class:`RunConfig` is the one place that logic
+lives now:
+
+* :meth:`RunConfig.engine_kwargs` is the single resolve path from a
+  config to an engine constructor's keyword arguments — ``run()``,
+  :meth:`repro.session.GraphSession.run`, and the bench harness all call
+  it;
+* ``ExperimentConfig.to_run_config()`` maps the frozen experiment-file
+  dataclass onto it (preserving the harness's historical leniency:
+  legacy interval fields are silently ignored on eager engines);
+* the CLI builds one from parsed arguments.
+
+The deprecated ``interval=`` / ``coherency_mode=`` knobs stay supported
+as shim fields; :func:`repro.core.policy.resolve_policy` folds them into
+the policy exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["RunConfig"]
+
+_DEFAULT_MAX_SUPERSTEPS = 100_000
+
+
+@dataclass
+class RunConfig:
+    """Everything that varies per engine run (nothing graph/partition-level).
+
+    Graph-level choices — the graph itself, machine count, partitioner,
+    edge split, seed — live on the :class:`~repro.session.GraphSession`;
+    a ``RunConfig`` can be re-run against any session.
+
+    Attributes mirror the historical ``repro.run`` keyword arguments;
+    see its docstring for per-field semantics. ``params`` holds the
+    algorithm constructor parameters (``k=10``, ``source=7``, …) that
+    ``run`` accepted as ``**algorithm_params``.
+    """
+
+    engine: str = "lazy-block"
+    policy: Any = None  # name | CoherencyPolicy | None
+    interval: Any = None  # deprecated shim (name | IntervalModel)
+    coherency_mode: Optional[str] = None  # deprecated shim
+    network: Any = None  # Optional[NetworkModel]
+    max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS
+    trace: bool = False
+    trace_out: Optional[str] = None
+    trace_format: str = "jsonl"
+    tracer: Any = None  # Optional[Tracer]
+    lens: Any = False  # bool | dict
+    lens_opts: Optional[Dict[str, Any]] = None
+    backend: Any = None  # name | ExecutionBackend | None
+    workers: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "RunConfig":
+        """Split a mixed kwarg dict into config fields + algorithm params.
+
+        Keys naming a :class:`RunConfig` field set that field; everything
+        else lands in ``params`` (the algorithm constructor). This is the
+        ergonomic path ``GraphSession.run("pagerank", tolerance=1e-3)``
+        uses.
+        """
+        known = set(cls.field_names())
+        config_kv = {k: v for k, v in kwargs.items() if k in known}
+        params = {k: v for k, v in kwargs.items() if k not in known}
+        if params:
+            config_kv.setdefault("params", {}).update(params)
+        return cls(**config_kv)
+
+    def with_overrides(self, **kwargs: Any) -> "RunConfig":
+        """A copy with config fields replaced / extra params overlaid."""
+        known = set(self.field_names())
+        config_kv = {k: v for k, v in kwargs.items() if k in known}
+        params = {k: v for k, v in kwargs.items() if k not in known}
+        out = replace(self, **config_kv)
+        if params:
+            out.params = {**out.params, **params}
+        return out
+
+    # ------------------------------------------------------------------
+    def engine_kwargs(
+        self,
+        spec: Any,
+        seed: int = 0,
+        tracer: Any = None,
+        pool: Any = None,
+        warn: bool = True,
+        strict_policy: bool = True,
+    ) -> Dict[str, Any]:
+        """The engine constructor kwargs this config resolves to.
+
+        This is the single resolve path behind ``repro.run``, the
+        session, and the bench harness:
+
+        * ``backend`` is resolved (and included) only when a backend or
+          worker count was requested — otherwise the engine constructs
+          its own default :class:`SerialBackend`, exactly as before;
+        * the coherency policy is folded from ``policy`` and the
+          deprecated ``interval``/``coherency_mode`` shims; engines
+          without a controller layer raise :class:`ConfigError` on an
+          explicit policy when ``strict_policy`` (the public-API
+          behavior) and silently ignore it otherwise (the harness
+          behavior — its legacy fields are its own dataclass defaults);
+        * the lens request is gated on the engine's declared options.
+
+        ``tracer`` overrides ``self.tracer`` (sessions create a fresh
+        tracer per run); ``pool`` is an optional warm
+        :class:`~repro.runtime.process_backend.WorkerPool` for
+        ``backend="process"``.
+        """
+        from repro.core.policy import resolve_policy
+        from repro.runtime.backend import resolve_backend
+
+        kwargs: Dict[str, Any] = {
+            "network": self.network,
+            "max_supersteps": self.max_supersteps,
+            "trace": self.trace,
+        }
+        tracer = tracer if tracer is not None else self.tracer
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        if self.backend is not None or self.workers is not None:
+            kwargs["backend"] = resolve_backend(
+                self.backend, workers=self.workers, seed=seed, pool=pool
+            )
+        pol, explicit = resolve_policy(
+            self.policy, self.interval, self.coherency_mode, warn=warn
+        )
+        if "controller" in spec.options:
+            kwargs["controller"] = pol.make_controller()
+            kwargs["coherency_mode"] = pol.mode
+            if "max_delta_age" in spec.options:
+                kwargs["max_delta_age"] = pol.max_delta_age
+        elif explicit and strict_policy:
+            raise ConfigError(
+                f"engine {spec.name!r} does not take an interval model / "
+                f"coherency policy (replicas are eagerly coherent)"
+            )
+        if "lens" in spec.options:
+            kwargs["lens"] = dict(self.lens_opts) if self.lens_opts else self.lens
+        elif self.lens or self.lens_opts:
+            raise ConfigError(
+                f"engine {spec.name!r} has no coherency lens (only the lazy "
+                f"engines defer replica coherency)"
+            )
+        return kwargs

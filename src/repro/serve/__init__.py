@@ -1,0 +1,11 @@
+"""Resident graph-query serving over reentrant engine sessions.
+
+See :class:`~repro.serve.service.GraphService` — a request queue,
+query batching (fused multi-source sweeps for compatible point
+queries), and an LRU of converged results, all over one warm
+:class:`~repro.session.GraphSession`.
+"""
+
+from repro.serve.service import GraphService, QueryRequest, ServedResult
+
+__all__ = ["GraphService", "QueryRequest", "ServedResult"]

@@ -1,0 +1,440 @@
+"""GraphService: a resident graph-query serving layer over one session.
+
+The paper's engines are batch artifacts: one algorithm, one run, one
+result. A serving workload inverts that shape — many small point
+queries ("PPR around these seeds", "hops from this vertex") against one
+resident graph, arriving asynchronously. :class:`GraphService` fronts a
+:class:`~repro.session.GraphSession` with the three mechanisms that
+workload needs:
+
+* **a request queue + dispatcher thread**: ``submit`` returns a
+  :class:`concurrent.futures.Future` immediately; every engine run
+  executes on the single dispatcher thread, so the session's cached
+  artifacts and warm worker pool are never raced;
+* **query batching**: requests are drained in windows of up to
+  ``max_batch`` requests / ``max_wait`` seconds. Identical queries in a
+  window always share one run (single-flight). In ``batch_mode="fused"``
+  (the default), *compatible point queries* — BFS-distance queries, or
+  PPR queries differing only in seeds — additionally fuse into **one
+  shared multi-source delta sweep** (``msbfs`` over the union of
+  sources; ``ppr`` over the union of seeds). A fused answer is the
+  multi-source result, bit-identical to a fresh ``repro.run`` of the
+  union program; ``ServedResult.batched``/``sources_served`` make the
+  fusion visible, and ``batch_mode="exact"`` turns it off for callers
+  that need per-source isolation;
+* **an LRU result cache** keyed on ``(graph version, engine, program,
+  params, source set, policy)``, holding serialized results
+  (:meth:`EngineResult.to_dict`) so cached entries share no mutable
+  arrays with what was handed out; hits are rebuilt fresh via
+  ``from_dict``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.result import EngineResult
+from repro.runtime.run_config import RunConfig
+from repro.session import GraphSession
+
+__all__ = ["GraphService", "QueryRequest", "ServedResult"]
+
+# algorithms whose point queries fuse into one multi-source sweep, and
+# the canonical multi-source program each fuses into
+_FUSABLE = {"bfs": "msbfs", "msbfs": "msbfs", "ppr": "ppr"}
+# how each algorithm spells its source set as program parameters
+_SOURCE_PARAM = {
+    "bfs": "source", "sssp": "source", "msbfs": "sources", "ppr": "seeds",
+}
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One algorithm request against the resident graph."""
+
+    algorithm: str
+    sources: Tuple[int, ...] = ()
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, algorithm: str, sources: Sequence[int] = (), **params: Any
+    ) -> "QueryRequest":
+        # freeze list-valued params (e.g. seeds=[1, 2]) so requests stay
+        # hashable — batching dedups on request identity
+        frozen = tuple(
+            (k, tuple(v) if isinstance(v, (list, set)) else v)
+            for k, v in sorted(params.items())
+        )
+        return cls(
+            algorithm=algorithm,
+            sources=tuple(int(s) for s in sources),
+            params=frozen,
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass
+class ServedResult:
+    """A query answer plus how it was produced.
+
+    ``batched`` marks answers produced by a fused multi-source sweep;
+    ``sources_served`` is then the union source set the sweep ran over
+    (equal to the request's own sources otherwise). ``cached`` marks
+    LRU hits. ``latency_s`` is submit-to-completion wall time.
+    """
+
+    result: EngineResult
+    request: QueryRequest
+    cached: bool = False
+    batched: bool = False
+    sources_served: Tuple[int, ...] = ()
+    batch_size: int = 1
+    latency_s: float = 0.0
+
+
+@dataclass
+class _Pending:
+    request: QueryRequest
+    future: Future
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+_STOP = object()
+
+
+class GraphService:
+    """Resident query service over one :class:`GraphSession`.
+
+    Parameters
+    ----------
+    session:
+        An open session the service takes queries against (not owned:
+        closing the service leaves the session open).
+    engine / policy / backend / workers:
+        Fixed run-level configuration every query runs under.
+    max_batch / max_wait:
+        Batching window: the dispatcher drains up to ``max_batch``
+        queued requests, waiting at most ``max_wait`` seconds for
+        stragglers after the first.
+    cache_size:
+        LRU capacity in distinct query keys (0 disables caching).
+    batch_mode:
+        ``"fused"`` (default) fuses compatible point queries into one
+        multi-source sweep; ``"exact"`` only ever shares runs between
+        *identical* queries.
+    """
+
+    def __init__(
+        self,
+        session: GraphSession,
+        engine: str = "lazy-block",
+        policy: Any = None,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        cache_size: int = 128,
+        batch_mode: str = "fused",
+        backend: Any = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ConfigError(f"max_wait must be >= 0, got {max_wait}")
+        if cache_size < 0:
+            raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
+        if batch_mode not in ("fused", "exact"):
+            raise ConfigError(
+                f"batch_mode must be 'fused' or 'exact', got {batch_mode!r}"
+            )
+        self.session = session
+        self.engine = engine
+        self.policy = policy
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.batch_mode = batch_mode
+        self.backend = backend
+        self.workers = workers
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self.metrics = MetricsRegistry()
+        self._latency = self.metrics.histogram(
+            "serve.latency_s",
+            buckets=[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60],
+        )
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # public API
+    def submit(
+        self, algorithm: str, sources: Sequence[int] = (), **params: Any
+    ) -> "Future[ServedResult]":
+        """Enqueue one query; resolve its answer asynchronously."""
+        if self._closed:
+            raise ConfigError("service is closed")
+        req = QueryRequest.make(algorithm, sources, **params)
+        fut: "Future[ServedResult]" = Future()
+        self.metrics.counter("serve.queries").inc()
+        self._queue.put(_Pending(req, fut))
+        return fut
+
+    def query(
+        self,
+        algorithm: str,
+        sources: Sequence[int] = (),
+        timeout: Optional[float] = None,
+        **params: Any,
+    ) -> ServedResult:
+        """Blocking :meth:`submit` — returns the served answer."""
+        return self.submit(algorithm, sources, **params).result(timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters + latency summary (JSON-serializable)."""
+        out = self.metrics.export()
+        hits = out.get("serve.cache_hits", 0.0)
+        misses = out.get("serve.cache_misses", 0.0)
+        total = hits + misses
+        out["serve.cache_hit_rate"] = hits / total if total else 0.0
+        return out
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain in-flight work and stop the dispatcher (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher internals (single thread; owns cache + session.run)
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.max_wait
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._serve_batch(batch)
+                    return
+                batch.append(nxt)
+            self._serve_batch(batch)
+
+    def _policy_key(self) -> str:
+        return repr(self.policy)
+
+    def _run_key(
+        self, program: str, params: Tuple[Tuple[str, Any], ...],
+        sources: Tuple[int, ...],
+    ) -> Tuple:
+        return (
+            self.session.graph_version, self.engine, program,
+            repr(params), sources, self._policy_key(),
+        )
+
+    def _canonical(self, req: QueryRequest) -> Tuple[str, Tuple[int, ...]]:
+        """Normalize a request to (program name, ordered source tuple)."""
+        srcs = tuple(sorted(set(req.sources)))
+        alg = req.algorithm
+        if alg in ("bfs", "sssp") and len(srcs) > 1:
+            raise ConfigError(
+                f"{alg} takes one source, got {len(srcs)}; use msbfs for "
+                f"multi-source distance queries"
+            )
+        if alg == "bfs" and not srcs:
+            srcs = (int(req.params_dict.get("source", 0)),)
+        if alg in ("msbfs", "ppr") and not srcs:
+            key = _SOURCE_PARAM[alg]
+            raw = req.params_dict.get(key, ())
+            srcs = tuple(sorted({int(s) for s in raw})) if raw else ()
+        return alg, srcs
+
+    def _run_params(
+        self, alg: str, srcs: Tuple[int, ...], params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        params = dict(params)
+        key = _SOURCE_PARAM.get(alg)
+        if key is not None and srcs:
+            params[key] = (
+                int(srcs[0]) if key == "source" else list(srcs)
+            )
+        return params
+
+    def _execute(
+        self, alg: str, srcs: Tuple[int, ...], params: Dict[str, Any]
+    ) -> EngineResult:
+        config = RunConfig(
+            engine=self.engine, policy=self.policy,
+            backend=self.backend, workers=self.workers,
+            params=self._run_params(alg, srcs, params),
+        )
+        self.metrics.counter("serve.runs").inc()
+        return self.session.run(alg, config=config)
+
+    def _cache_get(self, key: Tuple) -> Optional[EngineResult]:
+        if self.cache_size == 0:
+            return None
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        self._cache.move_to_end(key)
+        return EngineResult.from_dict(entry)
+
+    def _cache_put(self, key: Tuple, result: EngineResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result.to_dict()
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _finish(
+        self, pending: _Pending, served: ServedResult
+    ) -> None:
+        served.latency_s = time.perf_counter() - pending.submitted_at
+        self._latency.observe(served.latency_s)
+        pending.future.set_result(served)
+
+    def _serve_batch(self, batch: List[_Pending]) -> None:
+        self.metrics.counter("serve.batches").inc()
+        # pass 1: cache hits answer immediately; misses group for runs
+        groups: "OrderedDict[Tuple, List[_Pending]]" = OrderedDict()
+        plans: Dict[Tuple, Tuple[str, Tuple[int, ...], Dict[str, Any]]] = {}
+        for p in batch:
+            try:
+                alg, srcs = self._canonical(p.request)
+            except Exception as exc:
+                p.future.set_exception(exc)
+                continue
+            key = self._run_key(alg, p.request.params, srcs)
+            hit = self._cache_get(key)
+            if hit is not None:
+                self.metrics.counter("serve.cache_hits").inc()
+                self._finish(
+                    p,
+                    ServedResult(
+                        result=hit, request=p.request, cached=True,
+                        sources_served=srcs,
+                    ),
+                )
+                continue
+            self.metrics.counter("serve.cache_misses").inc()
+            groups.setdefault(key, []).append(p)
+            plans[key] = (alg, srcs, p.request.params_dict)
+
+        # pass 2: fuse compatible single-source groups into one sweep
+        if self.batch_mode == "fused":
+            groups, plans = self._fuse(groups, plans)
+
+        # pass 3: one engine run per remaining group (single-flight)
+        for key, members in groups.items():
+            alg, srcs, params = plans[key]
+            try:
+                result = self._execute(alg, srcs, params)
+            except Exception as exc:
+                for p in members:
+                    p.future.set_exception(exc)
+                continue
+            self._cache_put(key, result)
+            fused = len({m.request for m in members}) > 1
+            for p in members:
+                self._finish(
+                    p,
+                    ServedResult(
+                        # hand out independent copies so callers can
+                        # mutate freely without corrupting siblings
+                        result=(
+                            result if len(members) == 1
+                            else EngineResult.from_dict(result.to_dict())
+                        ),
+                        request=p.request,
+                        batched=fused,
+                        sources_served=srcs,
+                        batch_size=len(members),
+                    ),
+                )
+                if fused:
+                    self.metrics.counter("serve.fused_queries").inc()
+
+    def _fuse(
+        self,
+        groups: "OrderedDict[Tuple, List[_Pending]]",
+        plans: Dict[Tuple, Tuple[str, Tuple[int, ...], Dict[str, Any]]],
+    ) -> Tuple["OrderedDict[Tuple, List[_Pending]]", Dict]:
+        """Merge fusable miss-groups that differ only in their sources."""
+        by_family: "OrderedDict[Tuple, List[Tuple]]" = OrderedDict()
+        for key in groups:
+            alg, srcs, params = plans[key]
+            fused_alg = _FUSABLE.get(alg)
+            if fused_alg is None or not srcs:
+                by_family.setdefault(("solo", key), []).append(key)
+                continue
+            # compatibility: same fused program + same non-source params
+            bare = tuple(
+                (k, v) for k, v in sorted(params.items())
+                if k != _SOURCE_PARAM[alg]
+            )
+            by_family.setdefault((fused_alg, repr(bare)), []).append(key)
+
+        out_groups: "OrderedDict[Tuple, List[_Pending]]" = OrderedDict()
+        out_plans: Dict[Tuple, Tuple[str, Tuple[int, ...], Dict[str, Any]]] = {}
+        for family, keys in by_family.items():
+            if family[0] == "solo" or len(keys) == 1:
+                for key in keys:
+                    out_groups[key] = groups[key]
+                    out_plans[key] = plans[key]
+                continue
+            fused_alg = family[0]
+            union: set = set()
+            members: List[_Pending] = []
+            params: Dict[str, Any] = {}
+            for key in keys:
+                alg, srcs, p = plans[key]
+                union.update(srcs)
+                members.extend(groups[key])
+                params = {
+                    k: v for k, v in p.items()
+                    if k != _SOURCE_PARAM[alg]
+                }
+            fsrcs = tuple(sorted(union))
+            fparams = tuple(sorted(params.items()))
+            fkey = self._run_key(fused_alg, fparams, fsrcs)
+            out_groups.setdefault(fkey, []).extend(members)
+            out_plans[fkey] = (fused_alg, fsrcs, params)
+        return out_groups, out_plans

@@ -1,0 +1,271 @@
+"""Reentrant engine sessions: prepare a graph once, run many times.
+
+``repro.run(...)`` pays the full pipeline on every call — dataset load,
+symmetrization/weights, vertex-cut partitioning, per-machine CSR plan
+construction, and (for ``backend="process"``) a worker-pool spawn. For
+one-shot experiments that is the right shape; for a serving workload
+("answer PPR queries against this graph until further notice") it is
+almost all redundant work.
+
+:class:`GraphSession` splits the pipeline at its natural seam:
+
+* ``GraphSession.open(graph, machines=..., ...)`` fixes everything
+  *graph-level* — the graph, machine count, partitioner, edge split,
+  seed — and lazily caches each derived artifact the first time a run
+  needs it: the prepared graph per ``(symmetric, weighted)`` program
+  requirement, the partitioned graph, the per-machine
+  :class:`~repro.kernels.csr.CSRPlan` lists per worker-runtime kind,
+  and one warm :class:`~repro.runtime.process_backend.WorkerPool` for
+  process-backend runs.
+* ``session.run(algorithm, ...)`` is everything *run-level*: a fresh
+  engine constructed against the cached artifacts. Fresh construction
+  **is** the reset — new program state, mailboxes, delta arrays,
+  :class:`~repro.cluster.stats.RunStats`, exchange plane and channel
+  ledgers every time — so N back-to-back ``session.run`` calls are
+  bit-identical to N fresh ``repro.run`` calls (the session-equivalence
+  matrix test pins this, values + stats + trace streams, on both
+  backends). The cached artifacts are precisely the ones that carry no
+  run-mutable state: graphs and partitions are frozen inputs, CSR plans
+  reset their scratch before use, and pool workers re-bind per run.
+
+``repro.run`` itself is now a thin open-run-close wrapper over one
+throwaway session, and the serving layer (:mod:`repro.serve`) keeps one
+session resident per graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.vertex_program import DeltaProgram
+from repro.core.transmission import build_lazy_graph
+from repro.errors import ConfigError
+from repro.graph.digraph import DiGraph
+from repro.obs.sinks import TRACE_FORMATS, export_trace
+from repro.obs.tracer import Tracer
+from repro.partition.edge_splitter import EdgeSplitConfig
+from repro.powergraph.gas import GASProgram
+from repro.runtime.registry import EngineSpec, get_engine
+from repro.runtime.result import EngineResult
+from repro.runtime.run_config import RunConfig
+
+__all__ = ["GraphSession"]
+
+
+class GraphSession:
+    """A resident prepared graph that engines can be run against repeatedly.
+
+    Use :meth:`open` (or the context-manager form) rather than the
+    constructor::
+
+        with GraphSession.open("road-usa-mini", machines=48) as session:
+            a = session.run("pagerank", tolerance=1e-4)
+            b = session.run("sssp", engine="lazy-vertex", source=0)
+
+    Every ``run`` accepts the same knobs as :func:`repro.run` (minus the
+    graph-level ones fixed at ``open``), either as keyword arguments or
+    as a prebuilt :class:`~repro.runtime.run_config.RunConfig`.
+    """
+
+    def __init__(
+        self,
+        graph: Union[str, DiGraph],
+        machines: int = 48,
+        partitioner: str = "coordinated",
+        split: Optional[EdgeSplitConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if machines < 1:
+            raise ConfigError(f"machines must be >= 1, got {machines}")
+        self.graph = graph
+        self.machines = machines
+        self.partitioner = partitioner
+        self.split = split
+        self.seed = seed
+        #: bumped if/when the resident graph is swapped (forward-compat
+        #: with dynamic graphs); serving caches key on it
+        self.graph_version = 0
+        #: total engine runs served by this session
+        self.runs_completed = 0
+        self.last_result: Optional[EngineResult] = None
+        # graph-requirement key (requires_symmetric, needs_weights) ->
+        # prepared DiGraph / PartitionedGraph; plan key adds the
+        # worker-runtime kind ("delta" | "gas")
+        self._graphs: Dict[Tuple[bool, bool], DiGraph] = {}
+        self._pgraphs: Dict[Tuple[bool, bool], Any] = {}
+        self._plans: Dict[Tuple[Tuple[bool, bool], str], List[Any]] = {}
+        self._pool = None  # lazy WorkerPool, created on first process run
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        graph: Union[str, DiGraph],
+        machines: int = 48,
+        partitioner: str = "coordinated",
+        split: Optional[EdgeSplitConfig] = None,
+        seed: int = 0,
+    ) -> "GraphSession":
+        """Open a session; graph-level choices are fixed for its lifetime."""
+        return cls(
+            graph, machines=machines, partitioner=partitioner,
+            split=split, seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError("session is closed")
+
+    def _prepared(self, program) -> Tuple[Any, List[Any]]:
+        """The partitioned graph + CSR plans this program runs against."""
+        from repro.run_api import prepare_graph
+
+        key = (bool(program.requires_symmetric), bool(program.needs_weights))
+        if key not in self._graphs:
+            self._graphs[key] = prepare_graph(
+                self.graph, program, seed=self.seed
+            )
+        if key not in self._pgraphs:
+            self._pgraphs[key] = build_lazy_graph(
+                self._graphs[key], self.machines,
+                partitioner=self.partitioner, split_config=self.split,
+                seed=self.seed,
+            )
+        return self._pgraphs[key], key
+
+    def _plans_for(self, spec: EngineSpec, pgraph, key) -> List[Any]:
+        """Per-machine CSR plans for this engine family, built once."""
+        from repro.kernels import CSRPlan
+
+        kind = getattr(spec.cls, "worker_runtime", "delta")
+        pkey = (key, kind)
+        if pkey not in self._plans:
+            if kind == "gas":
+                plans: List[Any] = [
+                    (
+                        CSRPlan(mg.edst, mg.num_local_vertices),
+                        CSRPlan(mg.esrc, mg.num_local_vertices),
+                    )
+                    for mg in pgraph.machines
+                ]
+            else:
+                plans = [
+                    CSRPlan(mg.esrc, mg.num_local_vertices, dst=mg.edst)
+                    for mg in pgraph.machines
+                ]
+            self._plans[pkey] = plans
+        return self._plans[pkey]
+
+    @property
+    def pool(self):
+        """The session's warm worker pool (created on first access)."""
+        from repro.runtime.process_backend import WorkerPool
+
+        if self._pool is None:
+            self._pool = WorkerPool()
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: Union[str, DeltaProgram, GASProgram],
+        config: Optional[RunConfig] = None,
+        **overrides: Any,
+    ) -> EngineResult:
+        """Run one algorithm against the resident graph.
+
+        ``algorithm`` is a program name or instance, exactly as in
+        :func:`repro.run`. Run-level knobs come from ``config`` and/or
+        keyword ``overrides`` (overrides win; unknown keywords are
+        algorithm parameters). Each call constructs a fresh engine over
+        the cached graph artifacts, so results are bit-identical to a
+        fresh ``repro.run`` with the same arguments.
+        """
+        self._check_open()
+        if config is None:
+            config = RunConfig.from_kwargs(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        # validation order mirrors the historical run(): trace format
+        # first, then engine lookup, then program checks
+        if config.trace_format not in TRACE_FORMATS:
+            raise ConfigError(
+                f"unknown trace format {config.trace_format!r}; known: "
+                f"{', '.join(TRACE_FORMATS)}"
+            )
+        spec = get_engine(config.engine)
+        if isinstance(algorithm, (DeltaProgram, GASProgram)):
+            if config.params:
+                raise ConfigError(
+                    "algorithm_params only apply when algorithm is given "
+                    "by name"
+                )
+            wanted = GASProgram if spec.program_api == "gas" else DeltaProgram
+            if not isinstance(algorithm, wanted):
+                raise ConfigError(
+                    f"engine {config.engine!r} takes a {wanted.__name__}, "
+                    f"got {type(algorithm).__name__} {algorithm.name!r}"
+                )
+            program = algorithm
+        else:
+            program = spec.make_program(algorithm, **config.params)
+
+        pgraph, key = self._prepared(program)
+        plans = self._plans_for(spec, pgraph, key)
+
+        tracer = config.tracer
+        if tracer is None and config.trace_out is not None:
+            tracer = Tracer()
+        pool = self.pool if config.backend == "process" else None
+        kwargs = config.engine_kwargs(
+            spec, seed=self.seed, tracer=tracer, pool=pool
+        )
+        kwargs["plans"] = plans
+
+        self.reset()
+        result = spec.cls(pgraph, program, **kwargs).run()
+        if config.trace_out is not None and result.trace is not None:
+            export_trace(result.trace, config.trace_out, config.trace_format)
+        self.runs_completed += 1
+        self.last_result = result
+        return result
+
+    def reset(self) -> None:
+        """Drop per-run state, keep the cached graph artifacts + pool.
+
+        Called implicitly at the start of every :meth:`run`; the heavy
+        lifting is structural — engines are constructed fresh per run,
+        so there is no run state *to* leak between runs. What remains is
+        releasing the previous run's result reference.
+        """
+        self._check_open()
+        self.last_result = None
+
+    def close(self) -> None:
+        """Release the worker pool and cached artifacts (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._graphs.clear()
+        self._pgraphs.clear()
+        self._plans.clear()
+        self.last_result = None
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        gname = self.graph if isinstance(self.graph, str) else self.graph.name
+        state = "closed" if self._closed else "open"
+        return (
+            f"GraphSession({gname!r}, machines={self.machines}, "
+            f"partitioner={self.partitioner!r}, runs={self.runs_completed}, "
+            f"{state})"
+        )

@@ -77,7 +77,7 @@ class TestPrepareGraph:
 class TestRegistry:
     def test_program_names(self):
         assert set(repro.program_names()) == {
-            "pagerank", "ppr", "sssp", "cc", "kcore", "bfs",
+            "pagerank", "ppr", "sssp", "cc", "kcore", "bfs", "msbfs",
         }
 
     def test_unknown_program(self):

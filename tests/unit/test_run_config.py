@@ -1,0 +1,127 @@
+"""RunConfig: the one resolve path from run-level knobs to engine kwargs."""
+
+import pytest
+
+from repro.bench.configs import ExperimentConfig
+from repro.core.policy import CoherencyPolicy, get_policy
+from repro.errors import ConfigError
+from repro.obs.tracer import Tracer
+from repro.runtime.backend import SerialBackend
+from repro.runtime.process_backend import ProcessBackend
+from repro.runtime.registry import get_engine
+from repro.runtime.run_config import RunConfig
+
+LAZY = get_engine("lazy-block")
+EAGER = get_engine("powergraph-sync")
+
+
+class TestConstruction:
+    def test_from_kwargs_splits_fields_and_params(self):
+        cfg = RunConfig.from_kwargs(
+            engine="lazy-vertex", lens=True, tolerance=1e-4, source=7
+        )
+        assert cfg.engine == "lazy-vertex"
+        assert cfg.lens is True
+        assert cfg.params == {"tolerance": 1e-4, "source": 7}
+
+    def test_from_kwargs_defaults(self):
+        cfg = RunConfig.from_kwargs()
+        assert cfg.engine == "lazy-block"
+        assert cfg.backend is None and cfg.workers is None
+        assert cfg.params == {}
+
+    def test_with_overrides_replaces_and_overlays(self):
+        base = RunConfig(engine="lazy-block", params={"k": 3})
+        out = base.with_overrides(engine="lazy-vertex", source=2)
+        assert out.engine == "lazy-vertex"
+        assert out.params == {"k": 3, "source": 2}
+        # the original is untouched
+        assert base.engine == "lazy-block"
+        assert base.params == {"k": 3}
+
+
+class TestEngineKwargs:
+    def test_no_backend_key_when_unrequested(self):
+        kwargs = RunConfig().engine_kwargs(LAZY)
+        assert "backend" not in kwargs
+        assert kwargs["max_supersteps"] == 100_000
+        assert "tracer" not in kwargs
+
+    def test_backend_resolved_when_requested(self):
+        kwargs = RunConfig(backend="serial").engine_kwargs(LAZY)
+        assert isinstance(kwargs["backend"], SerialBackend)
+        kwargs = RunConfig(backend="process", workers=2).engine_kwargs(LAZY)
+        backend = kwargs["backend"]
+        assert isinstance(backend, ProcessBackend)
+        backend.close()
+
+    def test_tracer_argument_overrides_config(self):
+        own, per_run = Tracer(), Tracer()
+        cfg = RunConfig(tracer=own)
+        assert cfg.engine_kwargs(LAZY)["tracer"] is own
+        assert cfg.engine_kwargs(LAZY, tracer=per_run)["tracer"] is per_run
+
+    def test_policy_folded_for_controller_engines(self):
+        pol = get_policy("paper")
+        kwargs = RunConfig(policy=pol).engine_kwargs(LAZY)
+        assert kwargs["coherency_mode"] == pol.mode
+        assert kwargs["controller"] is not None
+
+    def test_explicit_policy_rejected_on_eager_engines(self):
+        with pytest.raises(ConfigError, match="eagerly coherent"):
+            RunConfig(policy="paper").engine_kwargs(EAGER)
+
+    def test_lenient_mode_drops_policy_on_eager_engines(self):
+        kwargs = RunConfig(policy="paper").engine_kwargs(
+            EAGER, strict_policy=False
+        )
+        assert "controller" not in kwargs
+
+    def test_lens_gated_on_engine_options(self):
+        assert RunConfig(lens=True).engine_kwargs(LAZY)["lens"] is True
+        opts = {"sample_size": 8}
+        assert RunConfig(lens_opts=opts).engine_kwargs(LAZY)["lens"] == opts
+        with pytest.raises(ConfigError, match="no coherency lens"):
+            RunConfig(lens=True).engine_kwargs(EAGER)
+
+
+class TestExperimentConfigBridge:
+    def test_named_policy_wins_over_legacy_interval_fields(self):
+        exp = ExperimentConfig(
+            graph="road-ca-mini", algorithm="cc", policy="staleness",
+            policy_opts={"max_delta_age": 2},
+        )
+        rc = exp.to_run_config()
+        assert isinstance(rc.policy, CoherencyPolicy)
+        assert rc.policy.max_delta_age == 2
+        assert rc.interval is None and rc.coherency_mode is None
+
+    def test_legacy_interval_fields_pass_through_without_policy(self):
+        rc = ExperimentConfig(
+            graph="road-ca-mini", algorithm="cc",
+            interval="fixed", coherency_mode="a2a",
+        ).to_run_config()
+        assert rc.policy is None
+        assert rc.interval == "fixed"
+        assert rc.coherency_mode == "a2a"
+
+    def test_serial_backend_maps_to_engine_default(self):
+        rc = ExperimentConfig(
+            graph="road-ca-mini", algorithm="cc"
+        ).to_run_config()
+        assert rc.backend is None
+        rc = ExperimentConfig(
+            graph="road-ca-mini", algorithm="cc", backend="process", workers=2
+        ).to_run_config()
+        assert rc.backend == "process" and rc.workers == 2
+
+    def test_lens_opts_imply_lens_and_params_resolve(self):
+        exp = ExperimentConfig(
+            graph="road-ca-mini", algorithm="pagerank",
+            lens_opts={"sample_size": 4}, params={"tolerance": 1e-5},
+        )
+        rc = exp.to_run_config()
+        assert rc.lens is True
+        assert rc.lens_opts == {"sample_size": 4}
+        # figure defaults overlaid with explicit params
+        assert rc.params == {"tolerance": 1e-5}

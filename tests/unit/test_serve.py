@@ -1,0 +1,204 @@
+"""GraphService: batching, multi-source fusion, caching, bit-identity.
+
+Fused answers must be bit-identical to a fresh ``repro.run`` of the
+union multi-source program; cache hits must be equal to (and share no
+arrays with) the miss that populated them.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.serve import GraphService, QueryRequest
+from repro.serve.service import _Pending
+from repro.session import GraphSession
+
+try:  # Future lives in the stdlib; imported here for direct-batch tests
+    from concurrent.futures import Future
+except ImportError:  # pragma: no cover
+    Future = None
+
+MACHINES = 4
+
+
+@pytest.fixture
+def session(er_graph):
+    with GraphSession.open(er_graph, machines=MACHINES, seed=0) as s:
+        yield s
+
+
+@pytest.fixture
+def service(session):
+    with GraphService(session, max_wait=0.0) as svc:
+        yield svc
+
+
+def _pending(algorithm, sources=(), **params):
+    return _Pending(QueryRequest.make(algorithm, sources, **params), Future())
+
+
+def _serve_direct(service, *pendings):
+    """Run one batch synchronously, bypassing the dispatcher window."""
+    service._serve_batch(list(pendings))
+    return [p.future.result(timeout=0) for p in pendings]
+
+
+class TestQueryRequest:
+    def test_make_freezes_list_params(self):
+        a = QueryRequest.make("ppr", seeds=[1, 2])
+        b = QueryRequest.make("ppr", seeds=[1, 2])
+        assert a == b and hash(a) == hash(b)
+        assert a.params_dict == {"seeds": (1, 2)}
+
+    def test_sources_coerced_to_ints(self):
+        req = QueryRequest.make("msbfs", sources=np.array([3, 1]))
+        assert req.sources == (3, 1)
+        assert all(isinstance(s, int) for s in req.sources)
+
+
+class TestServingBitIdentity:
+    def test_single_query_equals_fresh_run(self, service, er_graph):
+        served = service.query("bfs", sources=[0])
+        want = repro.run(
+            er_graph, "bfs", machines=MACHINES, seed=0, source=0
+        )
+        assert not served.cached and not served.batched
+        assert served.sources_served == (0,)
+        assert np.array_equal(served.result.values, want.values)
+
+    def test_msbfs_single_source_equals_bfs(self, service):
+        multi = service.query("msbfs", sources=[5])
+        single = service.query("bfs", sources=[5])
+        assert np.array_equal(multi.result.values, single.result.values)
+
+    def test_fused_batch_equals_fresh_union_run(self, service, er_graph):
+        batch = [_pending("bfs", [0]), _pending("bfs", [7])]
+        served = _serve_direct(service, *batch)
+        want = repro.run(
+            er_graph, "msbfs", machines=MACHINES, seed=0, sources=[0, 7]
+        )
+        for s in served:
+            assert s.batched and s.sources_served == (0, 7)
+            assert s.batch_size == 2
+            assert np.array_equal(s.result.values, want.values)
+        assert service.metrics.export()["serve.runs"] == 1.0
+        assert service.metrics.export()["serve.fused_queries"] == 2.0
+
+    def test_ppr_seed_queries_fuse(self, service, er_graph):
+        batch = [_pending("ppr", [2]), _pending("ppr", [9])]
+        served = _serve_direct(service, *batch)
+        want = repro.run(
+            er_graph, "ppr", machines=MACHINES, seed=0, seeds=[2, 9]
+        )
+        for s in served:
+            assert s.batched and s.sources_served == (2, 9)
+            assert np.array_equal(s.result.values, want.values)
+
+    def test_incompatible_params_do_not_fuse(self, service):
+        batch = [
+            _pending("ppr", [2], damping=0.85),
+            _pending("ppr", [9], damping=0.5),
+        ]
+        served = _serve_direct(service, *batch)
+        assert all(not s.batched for s in served)
+        assert service.metrics.export()["serve.runs"] == 2.0
+
+    def test_exact_mode_never_fuses(self, session):
+        with GraphService(session, batch_mode="exact", max_wait=0.0) as svc:
+            served = _serve_direct(
+                svc, _pending("bfs", [0]), _pending("bfs", [7])
+            )
+            assert all(not s.batched for s in served)
+            assert svc.metrics.export()["serve.runs"] == 2.0
+
+    def test_identical_queries_share_one_run(self, service):
+        served = _serve_direct(
+            service, _pending("bfs", [3]), _pending("bfs", [3])
+        )
+        assert service.metrics.export()["serve.runs"] == 1.0
+        # identical queries single-flight without counting as fused
+        assert all(not s.batched for s in served)
+        assert all(s.batch_size == 2 for s in served)
+        assert np.array_equal(
+            served[0].result.values, served[1].result.values
+        )
+
+
+class TestCache:
+    def test_miss_then_hit(self, service):
+        first = service.query("bfs", sources=[4])
+        second = service.query("bfs", sources=[4])
+        assert not first.cached and second.cached
+        assert np.array_equal(first.result.values, second.result.values)
+        stats = service.stats()
+        assert stats["serve.cache_hits"] == 1.0
+        assert stats["serve.cache_misses"] == 1.0
+        assert stats["serve.cache_hit_rate"] == 0.5
+
+    def test_hits_share_no_arrays(self, service):
+        first = service.query("bfs", sources=[4])
+        second = service.query("bfs", sources=[4])
+        second.result.values[0] += 1.0
+        third = service.query("bfs", sources=[4])
+        assert third.cached
+        assert np.array_equal(third.result.values, first.result.values)
+
+    def test_fused_run_populates_union_key(self, service):
+        _serve_direct(service, _pending("bfs", [0]), _pending("bfs", [7]))
+        hit = service.query("msbfs", sources=[0, 7])
+        assert hit.cached
+
+    def test_lru_eviction(self, session):
+        with GraphService(session, cache_size=1, max_wait=0.0) as svc:
+            svc.query("bfs", sources=[0])
+            svc.query("bfs", sources=[1])  # evicts source-0 entry
+            assert not svc.query("bfs", sources=[0]).cached
+
+    def test_cache_disabled(self, session):
+        with GraphService(session, cache_size=0, max_wait=0.0) as svc:
+            svc.query("bfs", sources=[0])
+            assert not svc.query("bfs", sources=[0]).cached
+
+
+class TestLifecycleAndErrors:
+    def test_invalid_knobs_rejected(self, session):
+        for kwargs in (
+            {"max_batch": 0},
+            {"max_wait": -1.0},
+            {"cache_size": -1},
+            {"batch_mode": "sometimes"},
+        ):
+            with pytest.raises(ConfigError):
+                GraphService(session, **kwargs)
+
+    def test_multi_source_bfs_rejected_with_guidance(self, service):
+        fut = service.submit("bfs", sources=[0, 1])
+        with pytest.raises(ConfigError, match="msbfs"):
+            fut.result(timeout=30)
+
+    def test_run_errors_propagate_to_futures(self, service):
+        fut = service.submit("pagerank", tolerance=-1.0)
+        with pytest.raises(Exception):
+            fut.result(timeout=30)
+
+    def test_submit_after_close_rejected(self, session):
+        svc = GraphService(session, max_wait=0.0)
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(ConfigError, match="closed"):
+            svc.submit("bfs", sources=[0])
+
+    def test_session_outlives_service(self, session):
+        with GraphService(session, max_wait=0.0) as svc:
+            svc.query("cc")
+        # the service never owned the session
+        session.run("cc")
+
+    def test_dispatcher_batches_submissions(self, session):
+        # a generous window lets both submissions land in one batch
+        with GraphService(session, max_wait=0.5) as svc:
+            futs = [svc.submit("bfs", sources=[s]) for s in (0, 7)]
+            served = [f.result(timeout=60) for f in futs]
+        assert all(s.batched for s in served)
+        assert all(s.sources_served == (0, 7) for s in served)

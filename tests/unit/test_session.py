@@ -1,0 +1,122 @@
+"""GraphSession lifecycle: caching, validation, reset, close."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.runtime.run_config import RunConfig
+from repro.session import GraphSession
+
+MACHINES = 4
+
+
+@pytest.fixture
+def session(er_graph):
+    with GraphSession.open(er_graph, machines=MACHINES, seed=0) as s:
+        yield s
+
+
+class TestLifecycle:
+    def test_open_fixes_graph_level_choices(self, er_graph):
+        s = GraphSession.open(
+            er_graph, machines=8, partitioner="oblivious", seed=3
+        )
+        assert s.machines == 8
+        assert s.partitioner == "oblivious"
+        assert s.seed == 3
+        assert s.graph_version == 0
+        assert s.runs_completed == 0
+        s.close()
+
+    def test_invalid_machine_count_rejected(self, er_graph):
+        with pytest.raises(ConfigError, match="machines"):
+            GraphSession.open(er_graph, machines=0)
+
+    def test_closed_session_rejects_runs(self, er_graph):
+        s = GraphSession.open(er_graph, machines=MACHINES)
+        s.close()
+        with pytest.raises(ConfigError, match="closed"):
+            s.run("cc")
+        # close is idempotent
+        s.close()
+
+    def test_context_manager_closes(self, er_graph):
+        with GraphSession.open(er_graph, machines=MACHINES) as s:
+            s.run("cc")
+        with pytest.raises(ConfigError, match="closed"):
+            s.run("cc")
+
+    def test_reset_drops_last_result(self, session):
+        session.run("cc")
+        assert session.last_result is not None
+        session.reset()
+        assert session.last_result is None
+        assert session.runs_completed == 1
+
+
+class TestRunValidation:
+    def test_unknown_trace_format_rejected(self, session):
+        with pytest.raises(ConfigError, match="trace format"):
+            session.run("cc", trace_format="xml")
+
+    def test_params_with_program_instance_rejected(self, session):
+        from repro.algorithms import ConnectedComponentsProgram
+
+        with pytest.raises(ConfigError, match="by name"):
+            session.run(ConnectedComponentsProgram(), k=3)
+
+    def test_program_flavour_checked_against_engine(self, session):
+        from repro.algorithms import ConnectedComponentsProgram
+
+        with pytest.raises(ConfigError, match="GASProgram"):
+            session.run(
+                ConnectedComponentsProgram(), engine="powergraph-gas-sync"
+            )
+
+    def test_config_object_and_overrides_compose(self, session, er_graph):
+        base = RunConfig(engine="lazy-vertex")
+        got = session.run("pagerank", config=base, tolerance=1e-3)
+        # the override landed in params, the config object is untouched
+        assert base.params == {}
+        want = repro.run(
+            er_graph, "pagerank", engine="lazy-vertex",
+            machines=MACHINES, seed=0, tolerance=1e-3,
+        )
+        assert np.array_equal(got.values, want.values)
+
+
+class TestArtifactCaching:
+    def test_graph_shape_cached_per_program_requirements(self, session):
+        session.run("pagerank", tolerance=1e-3)  # directed, unweighted
+        session.run("bfs", source=0)             # same shape
+        assert len(session._pgraphs) == 1
+        session.run("cc")                        # symmetric shape
+        assert len(session._pgraphs) == 2
+        session.run("sssp", source=0)            # directed + weights
+        assert len(session._pgraphs) == 3
+
+    def test_plans_cached_per_shape_and_runtime_kind(self, session):
+        session.run("pagerank", tolerance=1e-3)      # delta plans
+        session.run("bfs", source=0)                 # reuses them
+        assert len(session._plans) == 1
+        session.run(
+            "pagerank", engine="powergraph-gas-sync", tolerance=1e-3
+        )                                            # gas plans, same shape
+        assert len(session._plans) == 2
+        key = next(k for k in session._plans if k[1] == "gas")
+        assert all(len(pair) == 2 for pair in session._plans[key])
+
+    def test_plan_reuse_is_bit_identical(self, session, er_graph):
+        first = session.run("bfs", source=0)
+        second = session.run("bfs", source=0)
+        fresh = repro.run(er_graph, "bfs", machines=MACHINES, seed=0, source=0)
+        assert np.array_equal(first.values, second.values)
+        assert np.array_equal(first.values, fresh.values)
+
+    def test_close_releases_caches(self, session):
+        session.run("cc")
+        session.close()
+        assert not session._graphs and not session._pgraphs
+        assert not session._plans
+        assert session.last_result is None
