@@ -11,7 +11,13 @@ Mirrors how the paper's toolkits are driven from the shell:
   with LensAuditor anomaly flags (``--strict`` exits 3 on anomalies);
 * ``analyze``  — critical-path / straggler analysis of a recorded trace
   (per-superstep gating machine/channel, load imbalance vs λ);
-* ``dashboard``— render a recorded trace as an offline HTML dashboard.
+  ``--serve`` switches to request-waterfall / cost-attribution analysis
+  of a merged serve trace;
+* ``dashboard``— render a recorded trace as an offline HTML dashboard;
+* ``top``      — live (or one-shot) text view of a service telemetry
+  file written by ``serve --telemetry-out``;
+* ``slo``      — threshold gate over a telemetry file (p95 latency,
+  cache hit rate, queue depth); exits 4 on violation.
 """
 
 from __future__ import annotations
@@ -166,6 +172,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--top", type=int, default=0,
             help="include the top-N vertices in each answer",
         )
+        p.add_argument(
+            "--trace-out", metavar="PATH",
+            help="write the merged request trace (service spans joined "
+                 "to engine run spans) to PATH; analyze with "
+                 "'repro analyze --serve PATH'",
+        )
+        p.add_argument(
+            "--telemetry-out", metavar="PATH",
+            help="append service telemetry ticks (queue depth, hit "
+                 "rate, latency quantiles, worker heartbeats) to PATH; "
+                 "view with 'repro top', gate with 'repro slo'",
+        )
+        p.add_argument(
+            "--telemetry-interval", type=float, default=1.0, metavar="S",
+            help="telemetry sampling interval in seconds (default 1.0)",
+        )
+        p.add_argument(
+            "--telemetry-window", type=float, default=60.0, metavar="S",
+            help="sliding-window horizon for per-class latency "
+                 "quantiles (default 60)",
+        )
 
     p_srv = sub.add_parser(
         "serve",
@@ -188,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument(
         "--repeat", type=int, default=1,
         help="issue the query N times back-to-back (default 1)",
+    )
+    p_qry.add_argument(
+        "--json", action="store_true",
+        help="print one JSON record per query (request id, latency, "
+             "cache-hit flag) instead of the human table",
     )
 
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
@@ -248,6 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rows", type=int, default=40,
         help="per-superstep rows shown in the text table (default 40)",
     )
+    p_ana.add_argument(
+        "--serve", action="store_true",
+        help="analyze a merged serve trace (serve --trace-out): "
+             "per-request waterfalls, engine-run cost attribution, and "
+             "the cost-by-query-class table",
+    )
+    p_ana.add_argument(
+        "--run-id", type=int, metavar="N",
+        help="narrow a merged serve trace to engine run N before the "
+             "critical-path analysis (run ids: analyze --serve)",
+    )
 
     p_rep = sub.add_parser(
         "report",
@@ -278,6 +321,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dash.add_argument(
         "-o", "--out", default="run.html", help="output HTML path",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="text view of a service telemetry file "
+             "(serve --telemetry-out); --follow tails it live",
+    )
+    p_top.add_argument(
+        "telemetry", help="telemetry JSONL written by serve --telemetry-out"
+    )
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="block and re-render on every new tick (Ctrl-C to stop)",
+    )
+    p_top.add_argument(
+        "--ticks", type=int, default=0, metavar="N",
+        help="with --follow: exit after N ticks (0 = until interrupted)",
+    )
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="gate a telemetry file against SLO thresholds "
+             "(exits 4 on violation; CI-friendly)",
+    )
+    p_slo.add_argument(
+        "telemetry", help="telemetry JSONL written by serve --telemetry-out"
+    )
+    p_slo.add_argument(
+        "--p95-ms", type=float, metavar="MS",
+        help="max cumulative p95 latency in milliseconds",
+    )
+    p_slo.add_argument(
+        "--min-hit-rate", type=float, metavar="X",
+        help="min cumulative cache hit rate in [0, 1]",
+    )
+    p_slo.add_argument(
+        "--max-queue-depth", type=int, metavar="N",
+        help="max sampled queue depth over all ticks",
     )
     return parser
 
@@ -386,6 +467,10 @@ def _open_service(args):
         batch_mode=args.batch_mode,
         backend=args.backend,
         workers=args.workers,
+        trace_out=getattr(args, "trace_out", None),
+        telemetry_out=getattr(args, "telemetry_out", None),
+        telemetry_interval=getattr(args, "telemetry_interval", 1.0),
+        telemetry_window=getattr(args, "telemetry_window", 60.0),
     )
     return session, service
 
@@ -393,6 +478,7 @@ def _open_service(args):
 def _served_row(served, top: int = 0) -> dict:
     """One served answer as a JSON-serializable record."""
     row = {
+        "request_id": served.request_id,
         "algorithm": served.result.algorithm,
         "engine": served.result.engine,
         "sources": list(served.request.sources),
@@ -401,6 +487,7 @@ def _served_row(served, top: int = 0) -> dict:
         "batched": served.batched,
         "batch_size": served.batch_size,
         "latency_s": round(served.latency_s, 6),
+        "engine_cost_s": round(served.engine_cost_s, 9),
         "supersteps": served.result.stats.supersteps,
         "modeled_time_s": round(served.result.stats.modeled_time_s, 6),
         "converged": served.result.stats.converged,
@@ -472,6 +559,8 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    import json
+
     params = _algorithm_params(args)
     sources = params.pop("sources", [])
     session, service = _open_service(args)
@@ -479,18 +568,25 @@ def _cmd_query(args) -> int:
         rows = []
         for i in range(max(1, args.repeat)):
             served = service.query(args.algorithm, sources, **params)
+            if args.json:
+                print(json.dumps(_served_row(served, top=args.top)))
+                continue
             rows.append(
                 [
                     i,
+                    served.request_id,
                     round(served.latency_s * 1e3, 3),
                     served.cached,
                     served.batched,
                     served.result.stats.supersteps,
                 ]
             )
+        if args.json:
+            print(json.dumps(service.stats()), file=sys.stderr)
+            return 0
         print(
             format_table(
-                ["#", "latency_ms", "cached", "batched", "supersteps"],
+                ["#", "req", "latency_ms", "cached", "batched", "supersteps"],
                 rows,
                 title=f"{args.algorithm}{list(sources) or ''} on "
                       f"{args.graph} ({args.machines} machines)",
@@ -693,7 +789,17 @@ def _cmd_experiment(args) -> int:
 def _cmd_report(args) -> int:
     from repro.obs.audit import LensAuditor
     from repro.obs.report import format_report, load_trace, summarize_trace
+    from repro.obs.telemetry import (
+        format_service_report,
+        is_telemetry_file,
+        load_telemetry,
+        summarize_telemetry,
+    )
 
+    if is_telemetry_file(args.trace):
+        summary = summarize_telemetry(load_telemetry(args.trace))
+        print(format_service_report(summary))
+        return 0
     trace = load_trace(args.trace)
     print(format_report(summarize_trace(trace)))
     untracked = trace.meta.get("untracked_charges") or {}
@@ -724,7 +830,44 @@ def _cmd_analyze(args) -> int:
     from repro.obs.critical_path import analyze_trace, format_analysis
     from repro.obs.report import load_trace
 
-    analysis = analyze_trace(load_trace(args.trace))
+    if getattr(args, "serve", False):
+        from repro.obs.request_trace import (
+            analyze_serve_trace,
+            format_serve_analysis,
+            is_serve_trace,
+        )
+
+        trace = load_trace(args.trace)
+        if not is_serve_trace(trace):
+            print(
+                f"analyze --serve: {args.trace} has no serve.request "
+                f"spans (write one with 'repro serve --trace-out')",
+                file=sys.stderr,
+            )
+            return 2
+        analysis = analyze_serve_trace(trace)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(analysis, fh, indent=2, sort_keys=True)
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(format_serve_analysis(analysis, max_rows=args.max_rows))
+        if args.json_out:
+            print(f"analysis JSON written to {args.json_out}", file=sys.stderr)
+        totals = analysis["totals"]
+        if not (totals["latency_exact"] and totals["attribution_exact"]):
+            print(
+                "analyze --serve: exactness check FAILED (latency or "
+                "cost attribution does not reconstruct)",
+                file=sys.stderr,
+            )
+            return 3
+        return 0
+
+    analysis = analyze_trace(
+        load_trace(args.trace), run_id=getattr(args, "run_id", None)
+    )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(analysis, fh, indent=2, sort_keys=True)
@@ -761,6 +904,79 @@ def _cmd_dashboard(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.telemetry import (
+        format_top,
+        is_telemetry_file,
+        iter_follow,
+        load_telemetry,
+    )
+
+    if not is_telemetry_file(args.telemetry):
+        print(
+            f"top: {args.telemetry} is not a service telemetry file "
+            f"(write one with 'repro serve --telemetry-out')",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.follow:
+        data = load_telemetry(args.telemetry)
+        if not data["ticks"]:
+            print("top: no telemetry ticks yet", file=sys.stderr)
+            return 1
+        print(format_top(data["ticks"][-1], data["header"]))
+        return 0
+    seen = 0
+    try:
+        for tick in iter_follow(args.telemetry):
+            print(format_top(tick))
+            print()
+            seen += 1
+            if args.ticks and seen >= args.ticks:
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.obs.telemetry import (
+        check_slo,
+        is_telemetry_file,
+        load_telemetry,
+    )
+
+    if not is_telemetry_file(args.telemetry):
+        print(
+            f"slo: {args.telemetry} is not a service telemetry file",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.p95_ms is None
+        and args.min_hit_rate is None
+        and args.max_queue_depth is None
+    ):
+        print(
+            "slo: give at least one threshold (--p95-ms / --min-hit-rate "
+            "/ --max-queue-depth)",
+            file=sys.stderr,
+        )
+        return 2
+    violations = check_slo(
+        load_telemetry(args.telemetry),
+        p95_ms=args.p95_ms,
+        min_hit_rate=args.min_hit_rate,
+        max_queue_depth=args.max_queue_depth,
+    )
+    if violations:
+        for v in violations:
+            print(f"SLO VIOLATION: {v}")
+        return 4
+    print("slo: all thresholds satisfied")
+    return 0
+
+
 def _cmd_figures(args) -> int:
     from repro.bench.persistence import write_results
 
@@ -783,6 +999,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "analyze": _cmd_analyze,
     "dashboard": _cmd_dashboard,
+    "top": _cmd_top,
+    "slo": _cmd_slo,
 }
 
 

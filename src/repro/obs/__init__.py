@@ -23,7 +23,15 @@ The observability layer the paper's counter-driven evaluation implies:
   finished trace (untracked charges, pending-mass leaks, final drift,
   ledger reconciliation);
 * :mod:`repro.obs.dashboard` — offline single-file HTML run dashboard
-  (``repro dashboard``).
+  (``repro dashboard``);
+* :mod:`repro.obs.request_trace` — request-scoped tracing for the
+  serving layer: per-request ``serve.*`` spans joined to engine run
+  spans in one merged trace, with bit-exact cost attribution
+  (``repro analyze --serve``);
+* :mod:`repro.obs.telemetry` — the service telemetry plane: a
+  background ticker sampling queue depth / cache hit rate /
+  sliding-window latency quantiles / worker-pool heartbeats into
+  versioned JSONL (``repro top`` / ``repro slo``).
 """
 
 from repro.obs.audit import Anomaly, LensAuditor
@@ -57,6 +65,22 @@ from repro.obs.sinks import (
     Sink,
     TRACE_FORMATS,
     export_trace,
+)
+from repro.obs.request_trace import (
+    RequestContext,
+    ServeTraceWriter,
+    analyze_serve_trace,
+    format_serve_analysis,
+    is_serve_trace,
+    split_cost,
+)
+from repro.obs.telemetry import (
+    TelemetrySink,
+    check_slo,
+    format_top,
+    is_telemetry_file,
+    load_telemetry,
+    summarize_telemetry,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -93,4 +117,16 @@ __all__ = [
     "LensAuditor",
     "Anomaly",
     "render_dashboard",
+    "RequestContext",
+    "ServeTraceWriter",
+    "split_cost",
+    "analyze_serve_trace",
+    "format_serve_analysis",
+    "is_serve_trace",
+    "TelemetrySink",
+    "load_telemetry",
+    "summarize_telemetry",
+    "check_slo",
+    "format_top",
+    "is_telemetry_file",
 ]

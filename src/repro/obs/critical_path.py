@@ -46,7 +46,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.report import TraceData
 
-__all__ = ["analyze_trace", "format_analysis"]
+__all__ = ["analyze_trace", "extract_run", "format_analysis"]
 
 #: phase-leg name → the channel that prices its barrier/traffic when the
 #: leg itself carries no mode attribute (see _leg_channel)
@@ -173,12 +173,46 @@ def _gating_machine(
     return best, best_busy
 
 
-def analyze_trace(trace: TraceData) -> Dict[str, Any]:
+def extract_run(trace: TraceData, run_id: int) -> TraceData:
+    """One engine run's sub-trace out of a merged serve trace.
+
+    The serve-trace writer (:mod:`repro.obs.request_trace`) stamps every
+    merged engine record with its ``run_id`` and folds each run's
+    ``run_meta`` into a ``run-meta`` instant. This reverses that: the
+    returned :class:`TraceData` holds only that run's engine spans /
+    instants / counters plus its original meta, so the standard
+    critical-path analysis applies to one served run exactly as it does
+    to a standalone ``--trace-out`` file.
+    """
+    sub = TraceData()
+    for span in trace.spans:
+        attrs = span.get("attrs") or {}
+        if span.get("cat") != "serve" and attrs.get("run_id") == run_id:
+            sub.spans.append(span)
+    for inst in trace.instants:
+        attrs = inst.get("attrs") or {}
+        if attrs.get("run_id") != run_id:
+            continue
+        if inst.get("name") == "run-meta":
+            sub.meta.update(attrs.get("meta") or {})
+        else:
+            sub.instants.append(inst)
+    sub.counters = list(trace.counters)
+    return sub
+
+
+def analyze_trace(
+    trace: TraceData, run_id: Optional[int] = None
+) -> Dict[str, Any]:
     """Critical-path / straggler analysis of one run's trace.
 
     Returns a JSON-serializable dict; see the module docstring for the
-    semantics of each section.
+    semantics of each section. ``run_id`` narrows a merged serve trace
+    (``repro serve --trace-out``) to one engine run via
+    :func:`extract_run` before analyzing.
     """
+    if run_id is not None:
+        trace = extract_run(trace, run_id)
     meta = trace.meta
     stats = trace.stats
     num_machines = int(meta.get("machines", 0) or 0)

@@ -352,6 +352,101 @@ def _anomaly_section(trace: TraceData) -> str:
     )
 
 
+def _serving_section(trace: TraceData) -> str:
+    """Service panel: request waterfalls + cost attribution (serve traces).
+
+    Rendered only when the trace carries ``serve.request`` spans (a
+    merged trace from ``repro serve --trace-out``); empty string
+    otherwise so batch-run dashboards are unchanged.
+    """
+    from repro.obs.request_trace import analyze_serve_trace, is_serve_trace
+
+    if not is_serve_trace(trace):
+        return ""
+    a = analyze_serve_trace(trace)
+    t = a["totals"]
+    tiles = []
+    for value, label in (
+        (t["requests"], "requests"),
+        (t["engine_runs"], "engine runs"),
+        (t["cache_hits"], "cache hits"),
+        (t["fused"], "fused"),
+        (f"{t['attributed_cost_s']:.4f}s", "attributed cost"),
+        ("exact" if t["latency_exact"] and t["attribution_exact"]
+         else "MISMATCH", "reconstruction"),
+    ):
+        tiles.append(
+            f'<div class="tile"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>'
+        )
+
+    # per-request waterfall: stacked horizontal bars, one per request
+    reqs = a["requests"][:40]
+    max_lat = max((r["latency_s"] for r in reqs), default=0.0) or 1.0
+    bars = []
+    legs = ("queue_s", "batch_s", "run_s", "serialize_s")
+    for r in reqs:
+        segs = []
+        for i, leg in enumerate(legs):
+            w = 100.0 * r[leg] / max_lat
+            if w <= 0:
+                continue
+            segs.append(
+                f'<span class="seg" style="width:{w:.2f}%; '
+                f'background: var(--s{i % 4 + 1})"></span>'
+            )
+        how = "hit" if r["cached"] else ("fused" if r["batched"] else "run")
+        if r["outcome"] != "ok":
+            how = r["outcome"]
+        bars.append(
+            f'<div class="wf-row"><span class="wf-label">'
+            f'#{r["request_id"]} {_esc(r["class"])} ({_esc(how)})</span>'
+            f'<span class="wf-bar">{"".join(segs)}</span>'
+            f'<span class="wf-ms">{r["latency_s"] * 1e3:.2f}ms</span></div>'
+        )
+    waterfall = (
+        '<div class="waterfall" style="display:grid; gap:2px">'
+        + "".join(bars) + "</div>"
+        + _legend(["queue", "batch", "run", "serialize"])
+    )
+
+    cls_rows = []
+    for cls, c in a["classes"].items():
+        cls_rows.append(
+            f"<tr><td>{_esc(cls)}</td><td>{c['requests']}</td>"
+            f"<td>{c['cache_hits']}</td><td>{c['fused']}</td>"
+            f"<td>{c['engine_cost_s'] * 1e3:.3f}</td>"
+            f"<td>{100.0 * c['cost_share']:.1f}%</td>"
+            f"<td>{c['latency_p50_s'] * 1e3:.3f}</td>"
+            f"<td>{c['latency_p95_s'] * 1e3:.3f}</td></tr>"
+        )
+    cls_table = (
+        "<table><thead><tr><th>class</th><th>requests</th><th>hits</th>"
+        "<th>fused</th><th>cost (ms)</th><th>share</th><th>p50 (ms)</th>"
+        "<th>p95 (ms)</th></tr></thead>"
+        f'<tbody>{"".join(cls_rows)}</tbody></table>'
+    )
+
+    style = (
+        "<style>.wf-row{display:grid;grid-template-columns:14em 1fr 6em;"
+        "align-items:center;gap:6px;font-size:12px}"
+        ".wf-bar{display:flex;height:10px;background:rgba(127,127,127,.12);"
+        "border-radius:2px;overflow:hidden}"
+        ".wf-ms{text-align:right;font-variant-numeric:tabular-nums}"
+        "</style>"
+    )
+    return (
+        f'<section id="serving">{style}<h2>Service requests</h2>'
+        '<p class="section-note">request-scoped tracing: each bar tiles '
+        "one request's submit-to-answer host time into its queue / "
+        "batch / run / serialize legs; engine cost is the modeled run "
+        "time attributed to the request (fused runs split bit-exactly "
+        "across riders, cache hits attribute zero)</p>"
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        f"{waterfall}<h2>Cost by query class</h2>{cls_table}</section>"
+    )
+
+
 def _convergence_section(trace: TraceData) -> str:
     points = [
         (float(c.get("model_t", 0.0)), float(c.get("value", 0.0)))
@@ -814,6 +909,7 @@ def render_dashboard(trace: TraceData, title: Optional[str] = None) -> str:
     analysis = analyze_trace(trace)
     body = "".join([
         _summary_section(trace),
+        _serving_section(trace),
         _anomaly_section(trace),
         _critical_path_section(trace, analysis),
         _straggler_section(trace, analysis),

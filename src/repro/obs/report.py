@@ -242,6 +242,9 @@ def summarize_trace(trace: TraceData) -> Dict[str, Any]:
         },
         "modes": modes,
         "gating": gating,
+        # present when the trace came from a GraphService (serve
+        # --trace-out): the closing serve.* counter/histogram export
+        "service": trace.meta.get("service_stats") or {},
     }
 
 
@@ -320,6 +323,31 @@ def format_report(summary: Dict[str, Any]) -> str:
             f"{mode}×{count}" for mode, count in sorted(summary["modes"].items())
         )
         lines.append(f"coherency exchanges by mode: {mode_text}")
+
+    service = summary.get("service") or {}
+    if service:
+        srv_rows = []
+        for key in sorted(service):
+            value = service[key]
+            if isinstance(value, dict):
+                continue  # histograms render below
+            shown = round(value, 3) if isinstance(value, float) else value
+            srv_rows.append([key, shown])
+        lines.append(format_table(
+            ["counter", "value"], srv_rows,
+            title="service (serve.* counters at close)",
+        ))
+        latency = service.get("serve.latency_s")
+        if isinstance(latency, dict) and latency.get("count"):
+            lat_rows = [
+                [k, round(float(latency[k]) * 1e3, 3)]
+                for k in ("p50", "p95", "p99", "mean", "min", "max")
+                if k in latency
+            ]
+            lat_rows.append(["count", int(latency.get("count", 0))])
+            lines.append(format_table(
+                ["quantile", "ms"], lat_rows, title="service latency",
+            ))
 
     gating = summary.get("gating") or {}
     if gating:

@@ -32,9 +32,13 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Tracer", "NullTracer", "Span", "NULL_TRACER", "PHASE"]
+__all__ = ["Tracer", "NullTracer", "Span", "NULL_TRACER", "PHASE", "SERVE"]
 
 PHASE = "phase"  # the category whose modeled durations tile the run
+SERVE = "serve"  # service-plane spans (request legs / engine-run roots)
+# in a merged serve trace (repro.obs.request_trace); engine-analysis
+# passes (report / critical path) skip this category, serve analysis
+# (repro analyze --serve) reads only it
 
 
 class Span:

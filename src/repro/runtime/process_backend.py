@@ -257,6 +257,27 @@ class WorkerPool:
         self._closed = False
         #: total processes ever spawned (observability/testing)
         self.spawned = 0
+        #: liveness heartbeat for the service telemetry plane
+        self.ops_dispatched = 0
+        self.last_op_at: Optional[float] = None
+
+    def note_op(self) -> None:
+        """Stamp one dispatched op (called by backends using this pool)."""
+        self.ops_dispatched += 1
+        self.last_op_at = time.monotonic()
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """Liveness snapshot: worker census + last-op age in seconds."""
+        return {
+            "spawned": self.spawned,
+            "idle": self.idle_workers,
+            "closed": self._closed,
+            "ops_dispatched": self.ops_dispatched,
+            "last_op_age_s": (
+                time.monotonic() - self.last_op_at
+                if self.last_op_at is not None else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     def _spawn_one(self) -> _PoolMember:
@@ -507,6 +528,7 @@ class ProcessBackend(ExecutionBackend):
     ) -> List[Dict[str, Any]]:
         if self._failed or self._closed:
             raise BackendError("process backend is closed or failed")
+        self._workers_pool.note_op()
         eng = self.engine
         eng.shards.tick()
         epoch = eng.shards.collectors[0].epoch

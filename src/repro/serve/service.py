@@ -27,10 +27,27 @@ workload needs:
   (:meth:`EngineResult.to_dict`) so cached entries share no mutable
   arrays with what was handed out; hits are rebuilt fresh via
   ``from_dict``.
+
+Every request carries a :class:`~repro.obs.request_trace.RequestContext`
+(request id + the host timestamps of its queue/batch/run/serialize
+legs); opt-in observability rides on it with zero behavior change:
+
+* ``trace_out=`` streams a **merged request trace** — service spans
+  joined to each engine run's own tracer stream, with fused/single-
+  flight engine cost split bit-exactly across riding requests
+  (:mod:`repro.obs.request_trace`; ``repro analyze --serve``);
+* ``telemetry_out=`` attaches a :class:`~repro.obs.telemetry.
+  TelemetrySink` ticker sampling queue depth, in-flight count, cache
+  hit rate, sliding-window per-class latency quantiles and worker-pool
+  heartbeats (``repro top`` / ``repro slo``).
+
+Neither sink touches the ``serve.*`` metrics registry, so counters and
+answers are bit-identical whether observability is on or off.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -41,6 +58,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.request_trace import RequestContext, ServeTraceWriter, split_cost
+from repro.obs.telemetry import TelemetrySink
+from repro.obs.tracer import Tracer
 from repro.runtime.result import EngineResult
 from repro.runtime.run_config import RunConfig
 from repro.session import GraphSession
@@ -92,7 +112,14 @@ class ServedResult:
     ``batched`` marks answers produced by a fused multi-source sweep;
     ``sources_served`` is then the union source set the sweep ran over
     (equal to the request's own sources otherwise). ``cached`` marks
-    LRU hits. ``latency_s`` is submit-to-completion wall time.
+    LRU hits. ``latency_s`` is submit-to-completion wall time — the
+    left-to-right sum of the request's queue/batch/run/serialize leg
+    widths, so it matches the traced waterfall bit-for-bit.
+    ``request_id`` names this request across the trace and telemetry
+    planes; ``engine_cost_s`` is the share of engine modeled time
+    attributed to this request (0 for cache hits, an exact
+    ``1/riders`` split for fused runs); ``cache_key`` is the artifact
+    key an LRU hit was served from.
     """
 
     result: EngineResult
@@ -102,6 +129,9 @@ class ServedResult:
     sources_served: Tuple[int, ...] = ()
     batch_size: int = 1
     latency_s: float = 0.0
+    request_id: int = 0
+    engine_cost_s: float = 0.0
+    cache_key: Optional[str] = None
 
 
 @dataclass
@@ -109,6 +139,7 @@ class _Pending:
     request: QueryRequest
     future: Future
     submitted_at: float = field(default_factory=time.perf_counter)
+    ctx: Optional[RequestContext] = None
 
 
 _STOP = object()
@@ -134,6 +165,13 @@ class GraphService:
         ``"fused"`` (default) fuses compatible point queries into one
         multi-source sweep; ``"exact"`` only ever shares runs between
         *identical* queries.
+    trace_out:
+        Path for the merged request trace JSONL (None disables request
+        tracing; see :mod:`repro.obs.request_trace`).
+    telemetry_out / telemetry_interval / telemetry_window:
+        Path for the append-only service telemetry JSONL (None disables
+        the ticker), its sampling interval, and the sliding-window
+        horizon for per-class latency quantiles.
     """
 
     def __init__(
@@ -147,6 +185,10 @@ class GraphService:
         batch_mode: str = "fused",
         backend: Any = None,
         workers: Optional[int] = None,
+        trace_out: Optional[str] = None,
+        telemetry_out: Optional[str] = None,
+        telemetry_interval: float = 1.0,
+        telemetry_window: float = 60.0,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -173,8 +215,24 @@ class GraphService:
             "serve.latency_s",
             buckets=[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60],
         )
+        # request/batch/run identity for the trace + telemetry planes;
+        # inflight is a plain int (NOT a registry metric) so the serve.*
+        # counter export stays byte-identical with observability off
+        self._req_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        self._run_ids = itertools.count(1)
+        self._inflight = 0
+        self._trace = ServeTraceWriter(trace_out) if trace_out else None
+        self._telemetry = (
+            TelemetrySink(
+                self, telemetry_out,
+                interval_s=telemetry_interval, window_s=telemetry_window,
+            )
+            if telemetry_out else None
+        )
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
+        self._cancel = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch",
             daemon=True,
@@ -191,8 +249,14 @@ class GraphService:
             raise ConfigError("service is closed")
         req = QueryRequest.make(algorithm, sources, **params)
         fut: "Future[ServedResult]" = Future()
+        ctx = RequestContext(
+            request_id=next(self._req_ids),
+            algorithm=algorithm,
+            sources=tuple(int(s) for s in sources),
+        )
         self.metrics.counter("serve.queries").inc()
-        self._queue.put(_Pending(req, fut))
+        self._inflight += 1
+        self._queue.put(_Pending(req, fut, submitted_at=ctx.t_enqueue, ctx=ctx))
         return fut
 
     def query(
@@ -214,13 +278,79 @@ class GraphService:
         out["serve.cache_hit_rate"] = hits / total if total else 0.0
         return out
 
-    def close(self, timeout: float = 30.0) -> None:
-        """Drain in-flight work and stop the dispatcher (idempotent)."""
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Instantaneous service state for the telemetry ticker.
+
+        Read-only: samples the queue, in-flight count, cache occupancy,
+        cumulative ``serve.*`` counters/latency, and the session's
+        artifact + worker-pool heartbeats. Values are best-effort
+        snapshots (the dispatcher keeps running while we read).
+        """
+        exported = self.metrics.export()
+        counters = {
+            k: v for k, v in exported.items() if not isinstance(v, dict)
+        }
+        latency = exported.get("serve.latency_s")
+        hits = counters.get("serve.cache_hits", 0.0)
+        misses = counters.get("serve.cache_misses", 0.0)
+        lookups = hits + misses
+        return {
+            "queue_depth": self._queue.qsize(),
+            "inflight": self._inflight,
+            "cache": {
+                "entries": len(self._cache),
+                "capacity": self.cache_size,
+            },
+            "counters": counters,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "latency": latency if isinstance(latency, dict) else {},
+            "session": self.session.artifact_stats(),
+            "pool": self.session.pool_heartbeat(),
+        }
+
+    def close(self, timeout: float = 30.0, mode: str = "drain") -> None:
+        """Stop the service deterministically (idempotent).
+
+        ``mode="drain"`` (default) serves every request already
+        submitted — including any that raced past the shutdown sentinel
+        — before returning, so no accepted future is left unresolved.
+        ``mode="cancel"`` resolves queued-but-unstarted requests with
+        ``Future.cancel()`` instead (requests already being served
+        complete normally). Either way ``submit`` raises immediately
+        once close begins, and the trace/telemetry sinks are flushed
+        and closed last.
+        """
+        if mode not in ("drain", "cancel"):
+            raise ConfigError(
+                f"close mode must be 'drain' or 'cancel', got {mode!r}"
+            )
         if self._closed:
             return
+        self._cancel = mode == "cancel"
         self._closed = True
         self._queue.put(_STOP)
         self._dispatcher.join(timeout)
+        # the submit/close race can enqueue requests behind _STOP; the
+        # dispatcher never sees them, so resolve them here on the
+        # closing thread (the dispatcher is gone — no concurrency)
+        leftovers: List[_Pending] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)
+        if leftovers:
+            if self._cancel:
+                for p in leftovers:
+                    self._cancel_pending(p)
+            else:
+                self._serve_batch(leftovers)
+        if self._telemetry is not None:
+            self._telemetry.close()
+        if self._trace is not None:
+            self._trace.close(meta={"service_stats": self.stats()})
 
     def __enter__(self) -> "GraphService":
         return self
@@ -240,6 +370,9 @@ class GraphService:
                 continue
             if item is _STOP:
                 return
+            if self._cancel:
+                self._cancel_pending(item)
+                continue
             batch = [item]
             deadline = time.perf_counter() + self.max_wait
             while len(batch) < self.max_batch:
@@ -251,7 +384,11 @@ class GraphService:
                 except queue.Empty:
                     break
                 if nxt is _STOP:
-                    self._serve_batch(batch)
+                    if self._cancel:
+                        for p in batch:
+                            self._cancel_pending(p)
+                    else:
+                        self._serve_batch(batch)
                     return
                 batch.append(nxt)
             self._serve_batch(batch)
@@ -297,12 +434,17 @@ class GraphService:
         return params
 
     def _execute(
-        self, alg: str, srcs: Tuple[int, ...], params: Dict[str, Any]
+        self,
+        alg: str,
+        srcs: Tuple[int, ...],
+        params: Dict[str, Any],
+        tracer: Optional[Tracer] = None,
     ) -> EngineResult:
         config = RunConfig(
             engine=self.engine, policy=self.policy,
             backend=self.backend, workers=self.workers,
             params=self._run_params(alg, srcs, params),
+            tracer=tracer,
         )
         self.metrics.counter("serve.runs").inc()
         return self.session.run(alg, config=config)
@@ -324,15 +466,73 @@ class GraphService:
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
+    # ------------------------------------------------------------------
+    # request lifecycle terminals: every accepted request leaves through
+    # exactly one of _finish / _fail / _cancel_pending
     def _finish(
         self, pending: _Pending, served: ServedResult
     ) -> None:
-        served.latency_s = time.perf_counter() - pending.submitted_at
+        ctx = pending.ctx
+        if ctx is not None:
+            ctx.t_done = time.perf_counter()
+            ctx.outcome = "ok"
+            served.latency_s = ctx.latency_s
+            served.request_id = ctx.request_id
+            served.engine_cost_s = ctx.engine_cost_s
+            served.cache_key = ctx.cache_key
+            ctx.cached = served.cached
+            ctx.batched = served.batched
+            ctx.batch_size = served.batch_size
+            ctx.sources_served = served.sources_served
+            if self._trace is not None:
+                self._trace.record_request(ctx)
+            if self._telemetry is not None:
+                self._telemetry.observe(
+                    ctx.algorithm, served.latency_s, served.cached
+                )
+        else:
+            served.latency_s = time.perf_counter() - pending.submitted_at
+        self._inflight -= 1
         self._latency.observe(served.latency_s)
         pending.future.set_result(served)
 
+    def _fail(self, pending: _Pending, exc: BaseException) -> None:
+        ctx = pending.ctx
+        if ctx is not None:
+            now = time.perf_counter()
+            for stamp in ("t_dispatch", "t_run0", "t_run1"):
+                if getattr(ctx, stamp) == 0.0:
+                    setattr(ctx, stamp, now)
+            ctx.t_done = now
+            ctx.outcome = "error"
+            ctx.error = repr(exc)
+            if self._trace is not None:
+                self._trace.record_request(ctx)
+        self._inflight -= 1
+        pending.future.set_exception(exc)
+
+    def _cancel_pending(self, pending: _Pending) -> None:
+        ctx = pending.ctx
+        if ctx is not None:
+            now = time.perf_counter()
+            for stamp in ("t_dispatch", "t_run0", "t_run1"):
+                if getattr(ctx, stamp) == 0.0:
+                    setattr(ctx, stamp, now)
+            ctx.t_done = now
+            ctx.outcome = "cancelled"
+            if self._trace is not None:
+                self._trace.record_request(ctx)
+        self._inflight -= 1
+        pending.future.cancel()
+
     def _serve_batch(self, batch: List[_Pending]) -> None:
         self.metrics.counter("serve.batches").inc()
+        batch_id = next(self._batch_ids)
+        t_dispatch = time.perf_counter()
+        for p in batch:
+            if p.ctx is not None:
+                p.ctx.t_dispatch = t_dispatch
+                p.ctx.batch_id = batch_id
         # pass 1: cache hits answer immediately; misses group for runs
         groups: "OrderedDict[Tuple, List[_Pending]]" = OrderedDict()
         plans: Dict[Tuple, Tuple[str, Tuple[int, ...], Dict[str, Any]]] = {}
@@ -340,17 +540,24 @@ class GraphService:
             try:
                 alg, srcs = self._canonical(p.request)
             except Exception as exc:
-                p.future.set_exception(exc)
+                self._fail(p, exc)
                 continue
             key = self._run_key(alg, p.request.params, srcs)
             hit = self._cache_get(key)
             if hit is not None:
                 self.metrics.counter("serve.cache_hits").inc()
+                if p.ctx is not None:
+                    # zero-width run leg: an LRU hit pays no engine time
+                    t_hit = time.perf_counter()
+                    p.ctx.t_run0 = t_hit
+                    p.ctx.t_run1 = t_hit
+                    p.ctx.cache_key = repr(key)
+                    p.ctx.engine_cost_s = 0.0
                 self._finish(
                     p,
                     ServedResult(
                         result=hit, request=p.request, cached=True,
-                        sources_served=srcs,
+                        sources_served=srcs, cache_key=repr(key),
                     ),
                 )
                 continue
@@ -365,15 +572,46 @@ class GraphService:
         # pass 3: one engine run per remaining group (single-flight)
         for key, members in groups.items():
             alg, srcs, params = plans[key]
+            run_id = next(self._run_ids)
+            run_tracer = Tracer() if self._trace is not None else None
+            t_run0 = time.perf_counter()
             try:
-                result = self._execute(alg, srcs, params)
+                result = self._execute(alg, srcs, params, tracer=run_tracer)
             except Exception as exc:
+                t_run1 = time.perf_counter()
+                if self._trace is not None:
+                    self._trace.record_run(
+                        run_id, batch_id, alg, srcs,
+                        [m.ctx.request_id for m in members if m.ctx],
+                        t_run0, t_run1, error=repr(exc),
+                    )
                 for p in members:
-                    p.future.set_exception(exc)
+                    if p.ctx is not None:
+                        p.ctx.run_id = run_id
+                        p.ctx.t_run0 = t_run0
+                        p.ctx.t_run1 = t_run1
+                    self._fail(p, exc)
                 continue
+            t_run1 = time.perf_counter()
             self._cache_put(key, result)
             fused = len({m.request for m in members}) > 1
-            for p in members:
+            # cost attribution: the run's modeled engine time splits
+            # across its riders, summing back bit-exactly (split_cost)
+            shares = split_cost(
+                float(result.stats.modeled_time_s), len(members)
+            )
+            if self._trace is not None:
+                self._trace.record_run(
+                    run_id, batch_id, alg, srcs,
+                    [m.ctx.request_id for m in members if m.ctx],
+                    t_run0, t_run1, result=result, tracer=run_tracer,
+                )
+            for p, share in zip(members, shares):
+                if p.ctx is not None:
+                    p.ctx.run_id = run_id
+                    p.ctx.t_run0 = t_run0
+                    p.ctx.t_run1 = t_run1
+                    p.ctx.engine_cost_s = share
                 self._finish(
                     p,
                     ServedResult(
@@ -387,6 +625,7 @@ class GraphService:
                         batched=fused,
                         sources_served=srcs,
                         batch_size=len(members),
+                        engine_cost_s=share,
                     ),
                 )
                 if fused:

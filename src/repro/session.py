@@ -166,6 +166,29 @@ class GraphSession:
             self._pool = WorkerPool()
         return self._pool
 
+    def artifact_stats(self) -> Dict[str, Any]:
+        """Cached-artifact census for the service telemetry plane."""
+        return {
+            "graph_version": self.graph_version,
+            "runs_completed": self.runs_completed,
+            "prepared_graphs": len(self._graphs),
+            "partitioned_graphs": len(self._pgraphs),
+            "plans": len(self._plans),
+            "machines": self.machines,
+            "closed": self._closed,
+        }
+
+    def pool_heartbeat(self) -> Optional[Dict[str, Any]]:
+        """The warm pool's liveness heartbeat, or None if never spawned.
+
+        Deliberately does *not* touch the lazy ``pool`` property — a
+        serial-backend session must not spawn workers just because the
+        telemetry ticker asked after them.
+        """
+        if self._pool is None:
+            return None
+        return self._pool.heartbeat()
+
     # ------------------------------------------------------------------
     def run(
         self,

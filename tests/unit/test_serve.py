@@ -202,3 +202,95 @@ class TestLifecycleAndErrors:
             served = [f.result(timeout=60) for f in futs]
         assert all(s.batched for s in served)
         assert all(s.sources_served == (0, 7) for s in served)
+
+
+class TestGracefulClose:
+    """Every accepted future resolves deterministically at close."""
+
+    def test_invalid_mode_rejected(self, session):
+        svc = GraphService(session, max_wait=0.0)
+        with pytest.raises(ConfigError, match="drain"):
+            svc.close(mode="sometimes")
+        svc.close()
+
+    def test_drain_serves_inflight_work(self, session):
+        svc = GraphService(session, max_wait=5.0)  # window still open
+        futs = [svc.submit("bfs", sources=[s]) for s in (0, 7)]
+        svc.close(mode="drain")
+        served = [f.result(timeout=0) for f in futs]
+        assert all(s.result is not None for s in served)
+        assert svc.stats()["serve.queries"] == 2.0
+
+    def test_cancel_resolves_pending_futures(self, session):
+        svc = GraphService(session, max_wait=5.0)
+        futs = [svc.submit("bfs", sources=[s]) for s in (0, 7)]
+        svc.close(mode="cancel")
+        for f in futs:
+            # deterministic terminal state: served before the sentinel
+            # landed, or cancelled — never left unresolved
+            assert f.done()
+        assert svc._inflight == 0
+
+    def test_drain_covers_submit_close_race(self, session):
+        # enqueue directly behind the dispatcher's back to model a
+        # request racing past the shutdown sentinel
+        svc = GraphService(session, max_wait=0.0)
+        svc.query("bfs", sources=[0])  # quiesce the dispatcher
+        racer = _pending("bfs", [7])
+        racer.ctx = None
+        svc._closed = True  # submit() now rejects; queue still accepts
+        svc._queue.put(racer)
+        svc._closed = False
+        svc.close(mode="drain")
+        assert racer.future.result(timeout=0).result is not None
+
+    def test_inflight_returns_to_zero(self, session):
+        with GraphService(session, max_wait=0.0) as svc:
+            svc.query("bfs", sources=[0])
+            svc.query("bfs", sources=[0])
+            fut = svc.submit("bfs", sources=[0, 1])
+            with pytest.raises(Exception):
+                fut.result(timeout=30)
+            assert svc._inflight == 0
+
+
+class TestObservabilityNeutrality:
+    """Tracing/telemetry on must not change answers or serve.* counters."""
+
+    WORKLOAD = [("bfs", [0]), ("bfs", [7]), ("ppr", [2]), ("bfs", [0])]
+
+    def _run_workload(self, session, **kwargs):
+        with GraphService(session, max_wait=0.0, **kwargs) as svc:
+            served = [
+                svc.query(alg, sources=srcs) for alg, srcs in self.WORKLOAD
+            ]
+            counters = {
+                k: v for k, v in svc.metrics.export().items()
+                if not isinstance(v, dict)  # drop the latency histogram
+            }
+        return served, counters
+
+    def test_answers_and_counters_bit_identical(self, session, tmp_path):
+        plain, plain_counters = self._run_workload(session)
+        traced, traced_counters = self._run_workload(
+            session,
+            trace_out=str(tmp_path / "serve.trace.jsonl"),
+            telemetry_out=str(tmp_path / "service.telemetry.jsonl"),
+            telemetry_interval=10.0,
+        )
+        assert traced_counters == plain_counters
+        for a, b in zip(plain, traced):
+            assert np.array_equal(a.result.values, b.result.values)
+            assert a.result.values.dtype == b.result.values.dtype
+            assert a.cached == b.cached and a.batched == b.batched
+            assert a.sources_served == b.sources_served
+
+    def test_request_ids_assigned_without_observability(self, session):
+        served, _ = self._run_workload(session)
+        assert [s.request_id for s in served] == [1, 2, 3, 4]
+
+    def test_latency_matches_context_leg_sum(self, session):
+        with GraphService(session, max_wait=0.0) as svc:
+            served = svc.query("bfs", sources=[0])
+        assert served.latency_s > 0.0
+        assert served.engine_cost_s > 0.0
