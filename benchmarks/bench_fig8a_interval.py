@@ -27,7 +27,8 @@ def sweep():
         for strategy in STRATEGIES:
             r = run_config(
                 ExperimentConfig(
-                    graph, "sssp", engine="lazy-block", interval=strategy
+                    graph, "sssp", engine="lazy-block",
+                    policy_opts={"interval": strategy},
                 )
             )
             per[strategy] = r

@@ -59,7 +59,8 @@ def dynamic_vs_fixed():
         for mode in ("a2a", "m2m", "dynamic"):
             r = run_config(
                 ExperimentConfig(
-                    graph, "pagerank", engine="lazy-block", coherency_mode=mode
+                    graph, "pagerank", engine="lazy-block",
+                    policy_opts={"mode": mode},
                 )
             )
             per[mode] = r.stats.modeled_time_s

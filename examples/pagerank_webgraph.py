@@ -31,7 +31,10 @@ def main() -> None:
     # --- coherency wire protocol (Fig 8b) --------------------------------
     rows = []
     for mode in ("a2a", "m2m", "dynamic"):
-        r = repro.run(name, "pagerank", engine="lazy-block", coherency_mode=mode)
+        r = repro.run(
+            name, "pagerank", engine="lazy-block",
+            policy=repro.CoherencyPolicy(mode=mode),
+        )
         rows.append(
             [mode, round(r.stats.modeled_time_s, 4),
              round(r.stats.comm_bytes / 1e6, 3),

@@ -58,7 +58,8 @@ def main() -> None:
     rows = []
     for interval in ("adaptive", "simple", "never"):
         r = repro.run(
-            graph, "sssp", engine="lazy-block", machines=48, interval=interval
+            graph, "sssp", engine="lazy-block", machines=48,
+            policy=repro.CoherencyPolicy(interval=interval),
         )
         rows.append(
             [interval, round(r.stats.modeled_time_s, 4), r.stats.global_syncs,

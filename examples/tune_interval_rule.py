@@ -32,10 +32,10 @@ def harvest_samples():
     ]
     rows = []
     for graph, alg in workloads:
-        always = repro.run(graph, alg, interval="simple", machines=24)
-        never = repro.run(graph, alg, interval="never", machines=24)
+        always = repro.run(graph, alg, policy="simple", machines=24)
+        never = repro.run(graph, alg, policy="never", machines=24)
         beneficial = always.stats.modeled_time_s < never.stats.modeled_time_s
-        traced = repro.run(graph, alg, interval="adaptive", machines=24, trace=True)
+        traced = repro.run(graph, alg, policy="paper", machines=24, trace=True)
         ev = repro.load_dataset(graph).ev_ratio
         n = 0
         for entry in traced.stats.timeline:
@@ -78,7 +78,8 @@ def main() -> None:
     total_fit = total_paper = 0.0
     for graph, alg in (("road-usa-mini", "sssp"), ("twitter-mini", "pagerank")):
         total_fit += repro.run(
-            graph, alg, machines=24, interval=rule
+            graph, alg, machines=24,
+            policy=repro.CoherencyPolicy(interval=rule),
         ).stats.modeled_time_s
         total_paper += repro.run(graph, alg, machines=24).stats.modeled_time_s
     print(f"\nbasket time — fitted: {total_fit:.3f}s, paper rule: {total_paper:.3f}s")

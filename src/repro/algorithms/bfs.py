@@ -27,6 +27,7 @@ class BFSProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = False
     needs_weights = False
+    supports_warm_start = True
 
     def __init__(self, source: int = 0) -> None:
         if source < 0:

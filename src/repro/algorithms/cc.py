@@ -30,6 +30,7 @@ class ConnectedComponentsProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = True
     needs_weights = False
+    supports_warm_start = True
 
     # ------------------------------------------------------------------
     def make_state(self, mg: MachineGraph) -> Dict[str, np.ndarray]:

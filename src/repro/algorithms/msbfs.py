@@ -30,6 +30,7 @@ class MultiSourceBFSProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = False
     needs_weights = False
+    supports_warm_start = True
 
     def __init__(self, sources: Iterable[int] = (0,)) -> None:
         srcs = np.unique(np.asarray(list(sources), dtype=np.int64))

@@ -46,6 +46,7 @@ class PageRankDeltaProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = False
     needs_weights = False
+    supports_warm_start = True
 
     def __init__(self, damping: float = 0.85, tolerance: float = 1e-3) -> None:
         if not 0.0 < damping < 1.0:

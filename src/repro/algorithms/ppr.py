@@ -42,6 +42,7 @@ class PersonalizedPageRankProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = False
     needs_weights = False
+    supports_warm_start = True
 
     def __init__(
         self,

@@ -33,6 +33,7 @@ class SSSPProgram(DeltaProgram):
     delta_bytes = 16
     requires_symmetric = False
     needs_weights = True
+    supports_warm_start = True
 
     def __init__(self, source: int = 0) -> None:
         if source < 0:

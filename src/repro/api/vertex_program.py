@@ -154,6 +154,13 @@ class DeltaProgram(abc.ABC):
         harness symmetrizes inputs for such programs.
     needs_weights:
         Program reads edge weights (SSSP).
+    supports_warm_start:
+        The program's fixpoint can seed an incremental re-run after a
+        graph mutation (:mod:`repro.runtime.warm_start`). Requires the
+        whole algorithm state to live in per-vertex arrays that the
+        warm planners understand (monotone value for idempotent
+        algebras; value + unfired ``pending`` residual for invertible
+        ones). Off by default — opt in per program.
     """
 
     name: str = "abstract"
@@ -161,6 +168,7 @@ class DeltaProgram(abc.ABC):
     delta_bytes: int = 16
     requires_symmetric: bool = False
     needs_weights: bool = False
+    supports_warm_start: bool = False
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -245,6 +253,27 @@ class DeltaProgram(abc.ABC):
         declared op applied with ``operand[e]``, bit for bit (the ops
         are evaluated with the same ufunc either way). Return ``None``
         (the default) to keep the general ``edge_message`` path.
+        """
+        return None
+
+    def initial_messages(
+        self, mg: MachineGraph, state: Dict[str, np.ndarray]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Pre-staged inbox messages folded in at bootstrap (default: none).
+
+        Returns ``None`` (no injections) or ``(idx, accum)``: local
+        vertex indices and accum-level values ⊕-folded straight into the
+        inbox (``message[idx] ⊕= accum``) before the first superstep, as
+        if delivered by edges that already fired. The warm-start adapter
+        (:mod:`repro.runtime.warm_start`) uses this to seed correction
+        deltas after a graph mutation.
+
+        Injections must be **replica-consistent**: every machine hosting
+        a replica of a vertex must inject the same combined value (the
+        hook sees only local state, so derive injections from global
+        facts). They are deliberately *not* folded into ``deltaMsg`` —
+        each replica already holds the value, so forwarding it at a
+        coherency point would double-count.
         """
         return None
 

@@ -74,16 +74,15 @@ class ExperimentConfig:
     engine: str = "lazy-block"
     machines: int = 48
     partitioner: str = "coordinated"
-    interval: str = "adaptive"
-    coherency_mode: str = "dynamic"
     seed: int = 0
     lens: bool = False
     #: CoherencyLens keyword overrides (sample_size / seed / rollup_after
     #: / rollup_every / sharded); a non-empty dict implies ``lens``.
     lens_opts: Dict = field(default_factory=dict)
-    #: Named coherency policy (see :func:`repro.policy_names`). When set
-    #: it wins over the legacy ``interval``/``coherency_mode`` fields;
-    #: ``policy_opts`` overlays ``--policy-opt``-style overrides.
+    #: Named coherency policy (see :func:`repro.policy_names`), default
+    #: the ``"paper"`` policy on lazy engines; ``policy_opts`` overlays
+    #: ``--policy-opt``-style overrides (``interval=…``, ``mode=…``,
+    #: ``max_delta_age=…``, controller options).
     policy: Optional[str] = None
     policy_opts: Dict = field(default_factory=dict)
     #: Execution backend (``"serial"`` / ``"process"``) and worker count
@@ -105,29 +104,26 @@ class ExperimentConfig:
     def to_run_config(self):
         """This experiment's run-level knobs as a shared ``RunConfig``.
 
-        Mapping notes: a named ``policy`` (plus ``policy_opts``) wins
-        over the legacy ``interval``/``coherency_mode`` fields — those
-        are this dataclass's own defaults, so they carry no deprecation
-        weight and are dropped when a policy is named; ``"serial"``
-        maps to backend ``None`` (the engine's default) so the harness
-        keeps constructing serial engines without an explicit backend
-        kwarg.
+        Mapping notes: ``policy_opts`` overlays the named policy (the
+        ``"paper"`` policy when none is named, matching the run API
+        default — the harness still constructs eager engines without
+        complaint because it resolves with ``strict_policy=False``);
+        ``"serial"`` maps to backend ``None`` (the engine's default) so
+        the harness keeps constructing serial engines without an
+        explicit backend kwarg.
         """
         from repro.core.policy import get_policy
         from repro.runtime.run_config import RunConfig
 
-        if self.policy is not None:
-            pol = get_policy(self.policy)
+        policy = None
+        if self.policy is not None or self.policy_opts:
+            pol = get_policy(self.policy or "paper")
             if self.policy_opts:
                 pol = pol.apply_opts(self.policy_opts)
-            policy, interval, mode = pol, None, None
-        else:
-            policy, interval, mode = None, self.interval, self.coherency_mode
+            policy = pol
         return RunConfig(
             engine=self.engine,
             policy=policy,
-            interval=interval,
-            coherency_mode=mode,
             lens=bool(self.lens or self.lens_opts),
             lens_opts=dict(self.lens_opts) if self.lens_opts else None,
             backend=None if self.backend == "serial" else self.backend,

@@ -40,8 +40,6 @@ _ALLOWED_KEYS = {
     "engine",
     "machines",
     "partitioner",
-    "interval",
-    "coherency_mode",
     "policy",
     "policy_opts",
     "seed",
@@ -54,6 +52,13 @@ _ALLOWED_KEYS = {
 def _build_config(entry: Dict, defaults: Dict, index: int) -> ExperimentConfig:
     merged = dict(defaults)
     merged.update(entry)
+    removed = {"interval", "coherency_mode"} & set(merged)
+    if removed:
+        raise ConfigError(
+            f"experiment #{index}: {sorted(removed)} were removed; use "
+            f'"policy" / "policy_opts" (e.g. "policy_opts": '
+            f'{{"interval": "simple", "mode": "a2a"}})'
+        )
     unknown = set(merged) - _ALLOWED_KEYS
     if unknown:
         raise ConfigError(

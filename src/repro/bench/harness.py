@@ -88,8 +88,6 @@ def run_config(
     key = (
         config.label(),
         config.partitioner,
-        config.interval,
-        config.coherency_mode,
         config.policy,
         tuple(sorted(config.policy_opts.items())),
         config.seed,
@@ -118,15 +116,11 @@ def run_config(
     )
     timer.lap("partition")
     # one shared resolve path (RunConfig.engine_kwargs) with the
-    # harness's historical leniency: no deprecation noise for the legacy
-    # interval fields (they are ExperimentConfig's own defaults), and no
-    # policy error on eager engines (strict_policy=False silently drops
-    # the defaults there)
+    # harness's historical leniency: no policy error on eager engines
+    # (strict_policy=False silently drops the paper-policy default there)
     rc = config.to_run_config()
     rc.network = network
-    kwargs = rc.engine_kwargs(
-        spec, seed=config.seed, warn=False, strict_policy=False
-    )
+    kwargs = rc.engine_kwargs(spec, seed=config.seed, strict_policy=False)
     result = spec.cls(pgraph, program, **kwargs).run()
     timer.lap("engine")
     timer.stop()

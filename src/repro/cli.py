@@ -92,15 +92,6 @@ def build_parser() -> argparse.ArgumentParser:
              "--policy-opt max_delta_age=4 --policy-opt mass_floor=0.3 "
              "(repeatable)",
     )
-    p_run.add_argument(
-        "--interval", choices=["adaptive", "simple", "never"],
-        help="[deprecated: use --policy/--policy-opt interval=...] "
-             "interval model (lazy-block)",
-    )
-    p_run.add_argument(
-        "--coherency-mode", default=None, choices=["dynamic", "a2a", "m2m"],
-        help="[deprecated: use --policy-opt mode=...] wire protocol",
-    )
     p_run.add_argument("--top", type=int, default=0, help="print top-N vertices")
     p_run.add_argument(
         "--trace", action="store_true",
@@ -222,6 +213,60 @@ def build_parser() -> argparse.ArgumentParser:
              "cache-hit flag) instead of the human table",
     )
 
+    p_mut = sub.add_parser(
+        "mutate",
+        help="apply mutation batches to a resident graph and re-converge "
+             "incrementally; emits one JSONL event per apply/run",
+    )
+    p_mut.add_argument("--graph", default="road-ca-mini")
+    p_mut.add_argument("--machines", type=int, default=48)
+    p_mut.add_argument("--partitioner", default="coordinated")
+    p_mut.add_argument("--seed", type=int, default=0)
+    p_mut.add_argument(
+        "--engine", default="lazy-block", choices=list(engine_names())
+    )
+    p_mut.add_argument(
+        "--algorithm", "--algo", choices=list(program_names()),
+        help="algorithm to re-converge after each batch (a cold "
+             "baseline run records the fixpoint first)",
+    )
+    p_mut.add_argument("--k", type=int, help="k-core K")
+    p_mut.add_argument("--source", type=int, help="SSSP/BFS source vertex")
+    p_mut.add_argument(
+        "--tolerance", type=float, help="PageRank/PPR tolerance"
+    )
+    p_mut.add_argument(
+        "--seeds", help="comma-separated PPR seed vertices (e.g. 0,7,42)"
+    )
+    p_mut.add_argument(
+        "--sources", help="comma-separated msbfs source vertices"
+    )
+    p_mut.add_argument(
+        "--batch", action="append", default=[], metavar="PATH",
+        help="JSON mutation batch file, applied in order (repeatable); "
+             "'-' reads one JSON batch per stdin line",
+    )
+    p_mut.add_argument(
+        "--batch-json", action="append", default=[], metavar="JSON",
+        help="inline JSON mutation batch (repeatable), e.g. "
+             "'{\"add_edges\": [[0, 9]], \"remove_edges\": [[3, 4]]}'",
+    )
+    p_mut.add_argument(
+        "--repartition-threshold", type=float, metavar="X",
+        help="repartition the worst-replicated vertices when lambda "
+             "exceeds baseline*X (e.g. 1.2)",
+    )
+    p_mut.add_argument(
+        "--compare-cold", action="store_true",
+        help="also re-run from scratch after each batch and report the "
+             "superstep / modeled-time ratio",
+    )
+    p_mut.add_argument(
+        "--out", metavar="PATH",
+        help="also write the JSONL events to PATH (analyze with "
+             "'repro analyze --mutations PATH')",
+    )
+
     p_cmp = sub.add_parser("compare", help="lazy vs PowerGraph Sync")
     add_common(p_cmp)
 
@@ -290,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-id", type=int, metavar="N",
         help="narrow a merged serve trace to engine run N before the "
              "critical-path analysis (run ids: analyze --serve)",
+    )
+    p_ana.add_argument(
+        "--mutations", action="store_true",
+        help="analyze a mutation-stream JSONL (repro mutate --out / "
+             "bench_dynamic): supersteps-to-reconverge and lambda drift "
+             "per applied batch",
     )
 
     p_rep = sub.add_parser(
@@ -419,8 +470,6 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         machines=args.machines,
         partitioner=args.partitioner,
-        interval=args.interval,
-        coherency_mode=args.coherency_mode,
         policy=_resolve_cli_policy(args),
         seed=args.seed,
         trace=getattr(args, "trace", False),
@@ -500,16 +549,31 @@ def _served_row(served, top: int = 0) -> dict:
 
 
 def _parse_query_line(line: str) -> dict:
-    """One stdin request: JSON object, or ``<algorithm> [srcs] [k=v...]``."""
+    """One stdin request: JSON object, or ``<algorithm> [srcs] [k=v...]``.
+
+    A JSON object with a ``mutate`` key — or a line of the form
+    ``mutate {...batch json...}`` — is a graph mutation; everything
+    else is a query.
+    """
     import json
 
     if line.startswith("{"):
         obj = json.loads(line)
+        if "mutate" in obj:
+            return {"mutate": obj["mutate"]}
         return {
             "algorithm": obj["algorithm"],
             "sources": obj.get("sources", ()),
             "params": obj.get("params", {}),
         }
+    parts = line.split(None, 1)
+    if parts[0] == "mutate":
+        if len(parts) < 2 or not parts[1].lstrip().startswith("{"):
+            raise ValueError(
+                "mutate verb takes a JSON batch: mutate "
+                '{"add_edges": [[0, 9]], ...}'
+            )
+        return {"mutate": json.loads(parts[1])}
     parts = line.split()
     algorithm, sources, params = parts[0], (), {}
     for token in parts[1:]:
@@ -532,6 +596,8 @@ def _cmd_serve(args) -> int:
             f"line: '<algorithm> [src,src,...] [k=v ...]' or JSON",
             file=sys.stderr,
         )
+        from repro.graph.mutation import MutationBatch
+
         pending = []
         errors = 0
         for line in sys.stdin:
@@ -540,17 +606,27 @@ def _cmd_serve(args) -> int:
                 continue
             try:
                 req = _parse_query_line(line)
-                fut = service.submit(
-                    req["algorithm"], req["sources"], **req["params"]
-                )
+                if "mutate" in req:
+                    fut = service.submit_mutation(
+                        MutationBatch.from_dict(req["mutate"])
+                    )
+                    pending.append(("mutate", fut))
+                else:
+                    fut = service.submit(
+                        req["algorithm"], req["sources"], **req["params"]
+                    )
+                    pending.append(("query", fut))
             except Exception as exc:
                 errors += 1
                 print(json.dumps({"error": str(exc), "line": line}))
                 continue
-            pending.append(fut)
-        for fut in pending:
+        for kind, fut in pending:
             try:
-                print(json.dumps(_served_row(fut.result(), top=args.top)))
+                if kind == "mutate":
+                    applied = fut.result()
+                    print(json.dumps({"mutate": applied.to_dict()}))
+                else:
+                    print(json.dumps(_served_row(fut.result(), top=args.top)))
             except Exception as exc:
                 errors += 1
                 print(json.dumps({"error": str(exc)}))
@@ -609,6 +685,95 @@ def _cmd_query(args) -> int:
             f"(session reused the prepared graph/partition across "
             f"{max(1, args.repeat)} queries)"
         )
+    return 0
+
+
+def _cmd_mutate(args) -> int:
+    import json
+
+    from repro.graph.mutation import MutationBatch
+    from repro.session import GraphSession
+
+    batches = []
+    try:
+        for text in args.batch_json:
+            batches.append(MutationBatch.from_dict(json.loads(text)))
+        for path in args.batch:
+            if path == "-":
+                for line in sys.stdin:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        batches.append(
+                            MutationBatch.from_dict(json.loads(line))
+                        )
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    batches.append(MutationBatch.from_dict(json.load(fh)))
+    except Exception as exc:
+        print(f"mutate: bad batch: {exc}", file=sys.stderr)
+        return 2
+    if not batches:
+        print(
+            "mutate: no batches given (--batch / --batch-json)",
+            file=sys.stderr,
+        )
+        return 2
+
+    params = _algorithm_params(args) if args.algorithm else {}
+    events = []
+
+    def emit(event):
+        events.append(event)
+        print(json.dumps(event))
+
+    def run_record(result, mode):
+        rec = {
+            "event": "run",
+            "mode": mode,
+            "graph_version": session.graph_version,
+            "algorithm": args.algorithm,
+            "supersteps": result.stats.supersteps,
+            "modeled_time_s": result.stats.modeled_time_s,
+        }
+        if mode == "incremental":
+            extra = result.stats.extra
+            rec["warm_start"] = int(extra.get("warm_start", 0))
+            rec["reseeded"] = int(extra.get("warm_reseeded", 0))
+            rec["injections"] = int(extra.get("warm_injections", 0))
+        return rec
+
+    session = GraphSession.open(
+        args.graph, machines=args.machines,
+        partitioner=args.partitioner, seed=args.seed,
+        repartition_threshold=args.repartition_threshold,
+    )
+    with session:
+        if args.algorithm:
+            baseline = session.run(
+                args.algorithm, engine=args.engine, **params
+            )
+            emit(run_record(baseline, "baseline"))
+        for batch in batches:
+            applied = session.apply(batch)
+            emit({"event": "apply", **applied.to_dict()})
+            if args.algorithm:
+                inc = session.run(
+                    args.algorithm, engine=args.engine,
+                    incremental=True, **params,
+                )
+                rec = run_record(inc, "incremental")
+                if args.compare_cold:
+                    cold = session.run(
+                        args.algorithm, engine=args.engine, **params
+                    )
+                    rec["cold_supersteps"] = cold.stats.supersteps
+                    rec["cold_modeled_time_s"] = cold.stats.modeled_time_s
+                emit(rec)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        print(f"mutation stream written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -830,6 +995,34 @@ def _cmd_analyze(args) -> int:
     from repro.obs.critical_path import analyze_trace, format_analysis
     from repro.obs.report import load_trace
 
+    if getattr(args, "mutations", False):
+        from repro.obs.mutation_report import (
+            analyze_mutation_stream,
+            format_mutation_analysis,
+            is_mutation_stream,
+            load_mutation_stream,
+        )
+
+        events = load_mutation_stream(args.trace)
+        if not is_mutation_stream(events):
+            print(
+                f"analyze --mutations: {args.trace} has no apply events "
+                f"(write one with 'repro mutate --out')",
+                file=sys.stderr,
+            )
+            return 2
+        analysis = analyze_mutation_stream(events)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(analysis, fh, indent=2, sort_keys=True)
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(format_mutation_analysis(analysis, max_rows=args.max_rows))
+        if args.json_out:
+            print(f"analysis JSON written to {args.json_out}", file=sys.stderr)
+        return 0
+
     if getattr(args, "serve", False):
         from repro.obs.request_trace import (
             analyze_serve_trace,
@@ -989,6 +1182,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "mutate": _cmd_mutate,
     "compare": _cmd_compare,
     "datasets": _cmd_datasets,
     "info": _cmd_info,

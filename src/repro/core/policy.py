@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import abc
 import math
-import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -550,53 +549,42 @@ register_policy("batched", CoherencyPolicy(controller="batched"))
 
 
 # ----------------------------------------------------------------------
-# Deprecated-knob resolution (the run()/harness shim)
+# Policy resolution (the run()/harness path)
 # ----------------------------------------------------------------------
 def resolve_policy(
     policy: Union[str, CoherencyPolicy, None] = None,
     interval: Union[str, IntervalModel, None] = None,
     coherency_mode: Optional[str] = None,
     max_delta_age: Optional[int] = None,
-    warn: bool = True,
-    stacklevel: int = 3,
 ) -> Tuple[CoherencyPolicy, bool]:
-    """Merge the deprecated scattered knobs into one policy.
+    """Resolve a ``policy`` value (name / instance / None) to a policy.
 
     Returns ``(policy, explicit)`` where ``explicit`` is True when the
-    caller asked for policy-level behaviour (a ``policy`` value or the
-    deprecated ``interval`` — the knobs that are errors on engines
-    without a coherency-controller layer). Each deprecated knob emits a
-    :class:`DeprecationWarning` when ``warn`` is set.
+    caller named a policy — the knob that is an error on engines without
+    a coherency-controller layer.
+
+    The pre-PR-10 scattered knobs (``interval=`` / ``coherency_mode=`` /
+    ``max_delta_age=``) were removed after a deprecation cycle; passing
+    one raises :class:`ConfigError` with the ``policy=`` migration hint.
     """
-    explicit = policy is not None or interval is not None
+    if interval is not None:
+        raise ConfigError(
+            "run(interval=...) was removed; use "
+            "policy=CoherencyPolicy(interval=...) or a named --policy"
+        )
+    if coherency_mode is not None:
+        raise ConfigError(
+            "run(coherency_mode=...) was removed; use "
+            "policy=CoherencyPolicy(mode=...) or --policy-opt mode=..."
+        )
+    if max_delta_age is not None:
+        raise ConfigError(
+            "max_delta_age= was removed; use "
+            "policy=CoherencyPolicy(max_delta_age=...) or "
+            "--policy-opt max_delta_age=..."
+        )
+    explicit = policy is not None
     if isinstance(policy, str):
         policy = get_policy(policy)
     pol = policy if policy is not None else get_policy("paper")
-    if interval is not None:
-        if warn:
-            warnings.warn(
-                "run(interval=...) is deprecated; use "
-                "policy=CoherencyPolicy(interval=...) or --policy",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        pol = replace(pol, interval=interval)
-    if coherency_mode is not None:
-        if warn:
-            warnings.warn(
-                "run(coherency_mode=...) is deprecated; use "
-                "policy=CoherencyPolicy(mode=...) or --policy-opt mode=...",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        pol = replace(pol, mode=coherency_mode)
-    if max_delta_age is not None:
-        if warn:
-            warnings.warn(
-                "max_delta_age= is deprecated; use "
-                "policy=CoherencyPolicy(max_delta_age=...)",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        pol = replace(pol, max_delta_age=max_delta_age)
     return pol, explicit

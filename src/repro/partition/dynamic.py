@@ -1,0 +1,244 @@
+"""Incremental partition maintenance for dynamic graphs.
+
+A mutation changes a tiny fraction of the edge set, so re-running the
+vertex-cut partitioner (and rebuilding every machine's CSR plan) from
+scratch is almost entirely redundant work. :func:`patch_partition`
+instead *carries* the surviving edges' machine assignment across the
+mutation — the :class:`~repro.graph.mutation.EdgeDiff` old↔new edge-id
+correspondence makes that a gather — and places only the added edges,
+greedily: a machine already hosting both endpoints beats one hosting
+either endpoint beats the globally least-loaded machine. The
+materialization step still runs :meth:`PartitionedGraph.build` (it is
+the single source of truth for replica sets, masters and local
+renumbering), but :class:`PatchStats` reports which machines came out
+*structurally identical* — same vertex list, same local edge endpoints —
+so callers (the session layer) can keep those machines' cached CSR
+plans instead of rebuilding them.
+
+Carried assignments drift: deletions never remove a replica's original
+justification for the partitioner, and greedy insertion is myopic, so
+the replication factor λ creeps upward over a long mutation stream.
+:func:`repartition_worst` is the xDGP-style pressure valve — pick the
+vertices with the most replicas and consolidate each one's edges onto
+the machine that already hosts the most of them — triggered by the
+session's ``repartition_threshold`` knob when λ drifts past its budget.
+
+Parallel-edges mode (edge-splitter sessions) is not patchable: the
+dispatch fixpoint is global, so dynamic sessions refuse it up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.digraph import DiGraph
+from repro.graph.mutation import EdgeDiff
+from repro.partition.partitioned_graph import PartitionedGraph
+
+__all__ = [
+    "PatchStats",
+    "patch_partition",
+    "repartition_worst",
+    "repartition_if_needed",
+]
+
+
+@dataclass
+class PatchStats:
+    """What one partition patch did, and what it cost in λ."""
+
+    num_machines: int
+    edges_carried: int  # kept edges whose assignment survived
+    edges_placed: int  # added edges placed greedily
+    edges_removed: int
+    lambda_before: float  # replication factor before the mutation
+    lambda_after: float  # replication factor after the patch
+    #: machines whose (vertices, esrc, edst) are unchanged — their CSR
+    #: plans remain valid and the session keeps them
+    machines_unchanged: List[int] = field(default_factory=list)
+    #: vertices consolidated by the repartition pass (empty when the
+    #: λ threshold did not trip)
+    repartitioned_vertices: List[int] = field(default_factory=list)
+
+    @property
+    def machines_rebuilt(self) -> int:
+        return self.num_machines - len(self.machines_unchanged)
+
+    @property
+    def lambda_drift(self) -> float:
+        """Relative λ growth across this patch (0.0 = no drift)."""
+        if self.lambda_before == 0.0:
+            return 0.0
+        return self.lambda_after / self.lambda_before - 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_machines": self.num_machines,
+            "edges_carried": self.edges_carried,
+            "edges_placed": self.edges_placed,
+            "edges_removed": self.edges_removed,
+            "lambda_before": self.lambda_before,
+            "lambda_after": self.lambda_after,
+            "lambda_drift": self.lambda_drift,
+            "machines_unchanged": list(self.machines_unchanged),
+            "machines_rebuilt": self.machines_rebuilt,
+            "repartitioned_vertices": list(self.repartitioned_vertices),
+        }
+
+
+def _machines_hosting(pgraph: PartitionedGraph, v: int) -> np.ndarray:
+    if v >= pgraph.graph.num_vertices:
+        return np.empty(0, dtype=np.int32)
+    return pgraph.replicas_of(v)
+
+
+def _greedy_place(
+    pgraph: PartitionedGraph,
+    added_src: np.ndarray,
+    added_dst: np.ndarray,
+    load: np.ndarray,
+) -> np.ndarray:
+    """One home machine per added edge; mutates ``load`` as it places."""
+    out = np.empty(added_src.size, dtype=np.int64)
+    for i, (u, v) in enumerate(zip(added_src.tolist(), added_dst.tolist())):
+        mu = _machines_hosting(pgraph, u)
+        mv = _machines_hosting(pgraph, v)
+        both = np.intersect1d(mu, mv)
+        cand = both if both.size else np.union1d(mu, mv)
+        if cand.size:
+            m = int(cand[np.argmin(load[cand])])
+        else:
+            m = int(np.argmin(load))
+        out[i] = m
+        load[m] += 1
+    return out
+
+
+def patch_partition(
+    old_pgraph: PartitionedGraph,
+    new_graph: DiGraph,
+    diff: EdgeDiff,
+) -> Tuple[PartitionedGraph, PatchStats]:
+    """Carry the vertex-cut across a mutation; place only the new edges.
+
+    ``new_graph`` must be the patched graph whose edge layout matches
+    ``diff`` (kept edges first, in order, then added) — exactly what
+    :func:`~repro.graph.mutation.apply_batch` /
+    :func:`~repro.graph.mutation.symmetrized_patch` produce against the
+    graph ``old_pgraph`` was built from.
+    """
+    if old_pgraph.parallel_eids.size:
+        raise ConfigError(
+            "dynamic mutation does not support parallel-edges sessions "
+            "(the edge-splitter dispatch is global); open the session "
+            "without split="
+        )
+    if diff.num_kept + diff.num_added != new_graph.num_edges:
+        raise ConfigError(
+            f"edge diff does not describe new_graph "
+            f"({diff.num_kept}+{diff.num_added} != {new_graph.num_edges})"
+        )
+    P = old_pgraph.num_machines
+    carried = old_pgraph.assignment[diff.kept_eids].astype(np.int64)
+    load = np.bincount(carried, minlength=P).astype(np.int64)
+    placed = _greedy_place(old_pgraph, diff.added_src, diff.added_dst, load)
+    assignment = np.concatenate([carried, placed])
+    new_pgraph = PartitionedGraph.build(new_graph, assignment, P)
+
+    unchanged = [
+        old_mg.machine_id
+        for old_mg, new_mg in zip(old_pgraph.machines, new_pgraph.machines)
+        if (
+            np.array_equal(old_mg.vertices, new_mg.vertices)
+            and np.array_equal(old_mg.esrc, new_mg.esrc)
+            and np.array_equal(old_mg.edst, new_mg.edst)
+        )
+    ]
+    stats = PatchStats(
+        num_machines=P,
+        edges_carried=diff.num_kept,
+        edges_placed=diff.num_added,
+        edges_removed=diff.num_removed,
+        lambda_before=float(old_pgraph.replication_factor),
+        lambda_after=float(new_pgraph.replication_factor),
+        machines_unchanged=unchanged,
+    )
+    return new_pgraph, stats
+
+
+def repartition_worst(
+    graph: DiGraph,
+    assignment: np.ndarray,
+    num_machines: int,
+    max_vertices: int = 64,
+) -> Tuple[np.ndarray, List[int]]:
+    """xDGP-style local refinement: consolidate the worst-replicated vertices.
+
+    Picks up to ``max_vertices`` vertices with the most distinct
+    incident-edge machines and moves each one's incident edges onto the
+    machine already hosting the plurality of them (ties: lower machine
+    id). Returns the refined assignment (a copy) and the vertices
+    actually touched; vertices whose edges already share one machine are
+    skipped.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64).copy()
+    if graph.num_edges == 0 or max_vertices <= 0:
+        return assignment, []
+    # distinct machines per vertex over incident edges (both endpoints)
+    n = graph.num_vertices
+    keys = np.concatenate(
+        [
+            graph.src * np.int64(num_machines) + assignment,
+            graph.dst * np.int64(num_machines) + assignment,
+        ]
+    )
+    uniq = np.unique(keys)
+    spread = np.bincount((uniq // num_machines).astype(np.int64), minlength=n)
+    worst = np.argsort(-spread, kind="stable")[:max_vertices]
+    moved: List[int] = []
+    for v in worst.tolist():
+        if spread[v] <= 1:
+            break  # sorted descending: everything after is ≤ 1 too
+        eids = np.concatenate([graph.out_edge_ids(v), graph.in_edge_ids(v)])
+        eids = np.unique(eids)
+        homes = assignment[eids]
+        counts = np.bincount(homes, minlength=num_machines)
+        target = int(np.argmax(counts))
+        if np.all(homes == target):
+            continue
+        assignment[eids] = target
+        moved.append(int(v))
+    return assignment, moved
+
+
+def repartition_if_needed(
+    pgraph: PartitionedGraph,
+    baseline_lambda: float,
+    threshold: Optional[float],
+    max_vertices: int = 64,
+) -> Tuple[PartitionedGraph, List[int]]:
+    """Apply :func:`repartition_worst` when λ drifted past its budget.
+
+    ``threshold`` is multiplicative over ``baseline_lambda`` (the λ the
+    last full partitioning produced): ``threshold=1.2`` tolerates 20%
+    drift. ``None`` disables the valve. Returns the (possibly new)
+    partitioned graph and the consolidated vertices.
+    """
+    if threshold is None or baseline_lambda <= 0.0:
+        return pgraph, []
+    if pgraph.replication_factor <= baseline_lambda * threshold:
+        return pgraph, []
+    refined, moved = repartition_worst(
+        pgraph.graph, pgraph.assignment, pgraph.num_machines,
+        max_vertices=max_vertices,
+    )
+    if not moved:
+        return pgraph, []
+    return (
+        PartitionedGraph.build(pgraph.graph, refined, pgraph.num_machines),
+        moved,
+    )

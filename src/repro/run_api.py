@@ -19,7 +19,6 @@ from typing import Optional, Union
 
 from repro.api.vertex_program import DeltaProgram
 from repro.cluster.network import NetworkModel
-from repro.core.interval_model import IntervalModel
 from repro.core.policy import CoherencyPolicy
 from repro.errors import ConfigError
 from repro.graph.datasets import load_dataset
@@ -79,8 +78,6 @@ def run(
     engine: str = "lazy-block",
     machines: int = 48,
     partitioner: str = "coordinated",
-    interval: Union[str, IntervalModel, None] = None,
-    coherency_mode: Optional[str] = None,
     policy: Union[str, CoherencyPolicy, None] = None,
     split: Optional[EdgeSplitConfig] = None,
     network: Optional[NetworkModel] = None,
@@ -121,13 +118,9 @@ def run(
         instance. Collapses the controller choice, interval model, wire
         mode and ``max_delta_age`` into one value; lazy engines only.
         Default: the ``"paper"`` policy (bit-identical to the paper's
-        rule).
-    interval:
-        .. deprecated:: Use ``policy=CoherencyPolicy(interval=...)``.
-        Interval-model name or instance (lazy-block only).
-    coherency_mode:
-        .. deprecated:: Use ``policy`` (``CoherencyPolicy(mode=...)``).
-        ``dynamic`` / ``a2a`` / ``m2m`` (lazy engines only).
+        rule). The pre-PR-10 ``interval=``/``coherency_mode=`` keywords
+        were removed; passing them is a :class:`ConfigError` naming the
+        ``policy=`` replacement.
     split:
         Edge-splitter configuration enabling parallel-edges; ``None``
         keeps every edge in one-edge mode.
@@ -163,11 +156,11 @@ def run(
     from repro.session import GraphSession
 
     if config is None:
-        config = RunConfig(
+        # from_kwargs (not the bare constructor) so a stray removed knob
+        # in **algorithm_params raises the policy= migration ConfigError
+        config = RunConfig.from_kwargs(
             engine=engine,
             policy=policy,
-            interval=interval,
-            coherency_mode=coherency_mode,
             network=network,
             max_supersteps=max_supersteps,
             trace=trace,
@@ -178,7 +171,7 @@ def run(
             lens_opts=lens_opts,
             backend=backend,
             workers=workers,
-            params=dict(algorithm_params),
+            **algorithm_params,
         )
     elif algorithm_params:
         raise ConfigError(

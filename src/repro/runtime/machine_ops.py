@@ -87,7 +87,10 @@ def _op_bootstrap(rt, ctx: OpContext, payload: Dict[str, Any]) -> Dict[str, Any]
         edges = 0
     else:
         edges = rt.scatter(idx, init_delta[idx], track_delta=payload["track_delta"])
-    return {"edges": int(edges), "applies": int(idx.size)}
+    # warm starts pre-stage replica-consistent inbox messages (a no-op
+    # for ordinary programs); injected vertices are charged as applies
+    injected = rt.inject_initial_messages()
+    return {"edges": int(edges), "applies": int(idx.size) + injected}
 
 
 def _op_apply_step(rt, ctx: OpContext, payload: Dict[str, Any]) -> Dict[str, Any]:

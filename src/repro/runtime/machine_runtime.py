@@ -163,8 +163,33 @@ class MachineRuntime:
         if init_delta is None:
             # activation without a message: Apply runs with identity accum
             self.has_msg[idx] = True
+            edges = 0
+        else:
+            edges = self.scatter(idx, init_delta[idx], track_delta=True)
+        self.inject_initial_messages()
+        return edges
+
+    def inject_initial_messages(self) -> int:
+        """Fold the program's pre-staged inbox messages (warm starts).
+
+        Replica-consistent injections go straight into ``msg``/``has_msg``
+        and never into ``deltaMsg`` — every replica stages the same
+        value locally, so forwarding it at a coherency point would
+        double-count. Returns the number of injected vertices.
+        """
+        inj = self.program.initial_messages(self.mg, self.state)
+        if inj is None:
             return 0
-        return self.scatter(idx, init_delta[idx], track_delta=True)
+        idx, accum = inj
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        scatter_reduce(
+            self.algebra, self.msg, idx,
+            np.asarray(accum, dtype=np.float64),
+        )
+        self.has_msg[idx] = True
+        return int(idx.size)
 
     # ------------------------------------------------------------------
     def _edge_messages(

@@ -11,13 +11,15 @@ lives now:
   :meth:`repro.session.GraphSession.run`, and the bench harness all call
   it;
 * ``ExperimentConfig.to_run_config()`` maps the frozen experiment-file
-  dataclass onto it (preserving the harness's historical leniency:
-  legacy interval fields are silently ignored on eager engines);
+  dataclass onto it (preserving the harness's historical leniency: its
+  default policy is silently ignored on eager engines);
 * the CLI builds one from parsed arguments.
 
-The deprecated ``interval=`` / ``coherency_mode=`` knobs stay supported
-as shim fields; :func:`repro.core.policy.resolve_policy` folds them into
-the policy exactly as before.
+The pre-PR-10 ``interval=`` / ``coherency_mode=`` shim fields were
+removed after their deprecation cycle; the coherency policy is the one
+knob (:class:`~repro.core.policy.CoherencyPolicy` or a registered
+name). Dynamic-graph knobs (``incremental``) live here too, so the
+session, serving layer and CLI share one config object.
 """
 
 from __future__ import annotations
@@ -30,6 +32,28 @@ from repro.errors import ConfigError
 __all__ = ["RunConfig"]
 
 _DEFAULT_MAX_SUPERSTEPS = 100_000
+
+#: pre-PR-10 coherency knobs; naming one raises the migration ConfigError
+_REMOVED_KNOBS = ("interval", "coherency_mode", "max_delta_age")
+
+
+def _reject_removed_knobs(kwargs: Dict[str, Any]) -> None:
+    """Fail loudly (with the ``policy=`` hint) on removed coherency knobs.
+
+    Without this check a stray ``interval="simple"`` would silently fall
+    through to ``params`` and surface as an algorithm-constructor
+    TypeError far from the actual mistake.
+    """
+    from repro.core.policy import resolve_policy
+
+    removed = {k: kwargs[k] for k in _REMOVED_KNOBS if kwargs.get(k) is not None}
+    if removed:
+        resolve_policy(
+            None,
+            removed.get("interval"),
+            removed.get("coherency_mode"),
+            removed.get("max_delta_age"),
+        )
 
 
 @dataclass
@@ -48,8 +72,6 @@ class RunConfig:
 
     engine: str = "lazy-block"
     policy: Any = None  # name | CoherencyPolicy | None
-    interval: Any = None  # deprecated shim (name | IntervalModel)
-    coherency_mode: Optional[str] = None  # deprecated shim
     network: Any = None  # Optional[NetworkModel]
     max_supersteps: int = _DEFAULT_MAX_SUPERSTEPS
     trace: bool = False
@@ -60,6 +82,11 @@ class RunConfig:
     lens_opts: Optional[Dict[str, Any]] = None
     backend: Any = None  # name | ExecutionBackend | None
     workers: Optional[int] = None
+    #: warm-start from the session's previous fixpoint for this program
+    #: and inject per-mutation correction deltas (delta engines on a
+    #: :class:`~repro.session.GraphSession`; falls back to a cold run
+    #: when no fixpoint has been recorded yet)
+    incremental: bool = False
     params: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -75,6 +102,7 @@ class RunConfig:
         ergonomic path ``GraphSession.run("pagerank", tolerance=1e-3)``
         uses.
         """
+        _reject_removed_knobs(kwargs)
         known = set(cls.field_names())
         config_kv = {k: v for k, v in kwargs.items() if k in known}
         params = {k: v for k, v in kwargs.items() if k not in known}
@@ -84,6 +112,7 @@ class RunConfig:
 
     def with_overrides(self, **kwargs: Any) -> "RunConfig":
         """A copy with config fields replaced / extra params overlaid."""
+        _reject_removed_knobs(kwargs)
         known = set(self.field_names())
         config_kv = {k: v for k, v in kwargs.items() if k in known}
         params = {k: v for k, v in kwargs.items() if k not in known}
@@ -99,7 +128,6 @@ class RunConfig:
         seed: int = 0,
         tracer: Any = None,
         pool: Any = None,
-        warn: bool = True,
         strict_policy: bool = True,
     ) -> Dict[str, Any]:
         """The engine constructor kwargs this config resolves to.
@@ -110,12 +138,11 @@ class RunConfig:
         * ``backend`` is resolved (and included) only when a backend or
           worker count was requested — otherwise the engine constructs
           its own default :class:`SerialBackend`, exactly as before;
-        * the coherency policy is folded from ``policy`` and the
-          deprecated ``interval``/``coherency_mode`` shims; engines
+        * the coherency policy is resolved from ``policy``; engines
           without a controller layer raise :class:`ConfigError` on an
           explicit policy when ``strict_policy`` (the public-API
           behavior) and silently ignore it otherwise (the harness
-          behavior — its legacy fields are its own dataclass defaults);
+          behavior — its default policy is its own dataclass default);
         * the lens request is gated on the engine's declared options.
 
         ``tracer`` overrides ``self.tracer`` (sessions create a fresh
@@ -138,9 +165,7 @@ class RunConfig:
             kwargs["backend"] = resolve_backend(
                 self.backend, workers=self.workers, seed=seed, pool=pool
             )
-        pol, explicit = resolve_policy(
-            self.policy, self.interval, self.coherency_mode, warn=warn
-        )
+        pol, explicit = resolve_policy(self.policy)
         if "controller" in spec.options:
             kwargs["controller"] = pol.make_controller()
             kwargs["coherency_mode"] = pol.mode

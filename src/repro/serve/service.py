@@ -28,6 +28,16 @@ workload needs:
   arrays with what was handed out; hits are rebuilt fresh via
   ``from_dict``.
 
+The resident graph accepts **mutations in-band**:
+``submit_mutation(batch)`` / ``mutate(batch)`` enqueue a
+:class:`~repro.graph.mutation.MutationBatch` as a FIFO *barrier* — every
+query accepted before it answers against the pre-mutation graph, the
+session then applies the batch (``session.apply``, bumping
+``graph_version``), and every query after answers against the patched
+graph. Cache invalidation is free because ``graph_version`` is part of
+the result-cache key; the CLI verb is ``mutate {json}`` on the
+``repro serve`` stdin protocol.
+
 Every request carries a :class:`~repro.obs.request_trace.RequestContext`
 (request id + the host timestamps of its queue/batch/run/serialize
 legs); opt-in observability rides on it with zero behavior change:
@@ -57,13 +67,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.graph.mutation import MutationBatch
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.request_trace import RequestContext, ServeTraceWriter, split_cost
 from repro.obs.telemetry import TelemetrySink
 from repro.obs.tracer import Tracer
 from repro.runtime.result import EngineResult
 from repro.runtime.run_config import RunConfig
-from repro.session import GraphSession
+from repro.session import ApplyResult, GraphSession
 
 __all__ = ["GraphService", "QueryRequest", "ServedResult"]
 
@@ -137,6 +148,22 @@ class ServedResult:
 @dataclass
 class _Pending:
     request: QueryRequest
+    future: Future
+    submitted_at: float = field(default_factory=time.perf_counter)
+    ctx: Optional[RequestContext] = None
+
+
+@dataclass
+class _PendingMutation:
+    """A mutation request riding the same FIFO as queries.
+
+    Queue order is the consistency contract: queries submitted before
+    the mutation answer against the old graph version, queries after it
+    against the new one. ``ctx`` stays ``None`` — mutations are not
+    engine runs and take no waterfall trace.
+    """
+
+    batch: MutationBatch
     future: Future
     submitted_at: float = field(default_factory=time.perf_counter)
     ctx: Optional[RequestContext] = None
@@ -269,6 +296,37 @@ class GraphService:
         """Blocking :meth:`submit` — returns the served answer."""
         return self.submit(algorithm, sources, **params).result(timeout)
 
+    def submit_mutation(
+        self, batch: MutationBatch
+    ) -> "Future[ApplyResult]":
+        """Enqueue a graph mutation; resolves to the session's
+        :class:`~repro.session.ApplyResult`.
+
+        The mutation rides the request FIFO: every query already
+        submitted is served (against the current graph version) before
+        the batch applies, the version bump then retires the LRU for
+        free (cache keys carry the graph version), and later queries
+        answer against the mutated graph.
+        """
+        if self._closed:
+            raise ConfigError("service is closed")
+        if not isinstance(batch, MutationBatch):
+            raise ConfigError(
+                f"submit_mutation takes a MutationBatch, "
+                f"got {type(batch).__name__}"
+            )
+        fut: "Future[ApplyResult]" = Future()
+        self.metrics.counter("serve.mutations").inc()
+        self._inflight += 1
+        self._queue.put(_PendingMutation(batch, fut))
+        return fut
+
+    def mutate(
+        self, batch: MutationBatch, timeout: Optional[float] = None
+    ) -> ApplyResult:
+        """Blocking :meth:`submit_mutation`."""
+        return self.submit_mutation(batch).result(timeout)
+
     def stats(self) -> Dict[str, Any]:
         """Service counters + latency summary (JSON-serializable)."""
         out = self.metrics.export()
@@ -346,7 +404,19 @@ class GraphService:
                 for p in leftovers:
                     self._cancel_pending(p)
             else:
-                self._serve_batch(leftovers)
+                # preserve FIFO semantics: mutations stay barriers even
+                # in the drain path
+                run: List[_Pending] = []
+                for p in leftovers:
+                    if isinstance(p, _PendingMutation):
+                        if run:
+                            self._serve_batch(run)
+                            run = []
+                        self._apply_mutation(p)
+                    else:
+                        run.append(p)
+                if run:
+                    self._serve_batch(run)
         if self._telemetry is not None:
             self._telemetry.close()
         if self._trace is not None:
@@ -373,7 +443,13 @@ class GraphService:
             if self._cancel:
                 self._cancel_pending(item)
                 continue
+            if isinstance(item, _PendingMutation):
+                # a mutation is a barrier: everything before it has
+                # already been served (FIFO + single dispatcher thread)
+                self._apply_mutation(item)
+                continue
             batch = [item]
+            tail: Optional[_PendingMutation] = None
             deadline = time.perf_counter() + self.max_wait
             while len(batch) < self.max_batch:
                 remaining = deadline - time.perf_counter()
@@ -390,8 +466,26 @@ class GraphService:
                     else:
                         self._serve_batch(batch)
                     return
+                if isinstance(nxt, _PendingMutation):
+                    # close the window early: the queries gathered so
+                    # far answer against the pre-mutation graph
+                    tail = nxt
+                    break
                 batch.append(nxt)
             self._serve_batch(batch)
+            if tail is not None:
+                self._apply_mutation(tail)
+
+    def _apply_mutation(self, pending: _PendingMutation) -> None:
+        try:
+            result = self.session.apply(pending.batch)
+        except Exception as exc:
+            self._inflight -= 1
+            pending.future.set_exception(exc)
+            return
+        self.metrics.counter("serve.mutations_applied").inc()
+        self._inflight -= 1
+        pending.future.set_result(result)
 
     def _policy_key(self) -> str:
         return repr(self.policy)

@@ -31,25 +31,115 @@ almost all redundant work.
 ``repro.run`` itself is now a thin open-run-close wrapper over one
 throwaway session, and the serving layer (:mod:`repro.serve`) keeps one
 session resident per graph.
+
+The resident graph is *dynamic*: ``session.apply(batch)`` takes a
+:class:`~repro.graph.mutation.MutationBatch`, bumps ``graph_version``,
+and **patches** the cached artifacts instead of rebuilding them — each
+prepared graph variant via the edge-diff layout
+(:func:`~repro.graph.mutation.apply_batch` /
+:func:`~repro.graph.mutation.symmetrized_patch`), the vertex-cut via
+:func:`~repro.partition.dynamic.patch_partition` (kept edges stay on
+their machines; added edges placed greedily; λ reported per variant,
+with an optional multiplicative ``repartition_threshold`` valve), and
+the per-machine CSR plans only for the machines whose local graph
+actually changed. After a mutation, ``session.run(...,
+incremental=True)`` warm-starts delta programs that opt in
+(``supports_warm_start``) from the previous fixpoint — reseeding the
+tainted/fresh slice and injecting boundary corrections via
+:mod:`repro.runtime.warm_start` — and re-converges to the same fixpoint
+as a cold run in a fraction of the supersteps
+(``tests/integration/test_dynamic_equivalence.py`` pins the matrix;
+``benchmarks/bench_dynamic.py`` prices it).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.api.vertex_program import DeltaProgram
 from repro.core.transmission import build_lazy_graph
 from repro.errors import ConfigError
 from repro.graph.digraph import DiGraph
+from repro.graph.mutation import MutationBatch, apply_batch, symmetrized_patch
 from repro.obs.sinks import TRACE_FORMATS, export_trace
 from repro.obs.tracer import Tracer
+from repro.partition.dynamic import (
+    PatchStats,
+    patch_partition,
+    repartition_if_needed,
+)
 from repro.partition.edge_splitter import EdgeSplitConfig
 from repro.powergraph.gas import GASProgram
 from repro.runtime.registry import EngineSpec, get_engine
 from repro.runtime.result import EngineResult
 from repro.runtime.run_config import RunConfig
+from repro.runtime.warm_start import (
+    WarmStartProgram,
+    collect_state,
+    plan_warm_start,
+)
+from repro.utils.rng import derive_seed, make_rng
 
-__all__ = ["GraphSession"]
+__all__ = ["GraphSession", "ApplyResult"]
+
+GraphKey = Tuple[bool, bool]  # (requires_symmetric, needs_weights)
+
+
+def _key_name(key: GraphKey) -> str:
+    """Readable label for a prepared-graph variant key."""
+    base = "symmetric" if key[0] else "directed"
+    return base + ("+weights" if key[1] else "")
+
+
+@dataclass
+class ApplyResult:
+    """What one :meth:`GraphSession.apply` did, per cached graph variant.
+
+    ``patches`` is keyed by variant label (``"directed"``,
+    ``"symmetric"``, …) and holds the partition-layer
+    :class:`~repro.partition.dynamic.PatchStats` for every variant that
+    had a partitioned graph cached (λ before/after, machines rebuilt,
+    repartitioned vertices). Variants never yet partitioned — and
+    sessions mutated before their first run — show up with no patch
+    entry; they will materialize against the mutated graph lazily.
+    """
+
+    graph_version: int
+    edges_added: int
+    edges_removed: int
+    vertices_added: int
+    vertices_removed: int
+    patches: Dict[str, PatchStats] = field(default_factory=dict)
+
+    @property
+    def replication_factors(self) -> Dict[str, float]:
+        """Post-mutation λ per patched variant."""
+        return {
+            name: stats.lambda_after for name, stats in self.patches.items()
+        }
+
+    @property
+    def worst_lambda(self) -> float:
+        """Largest post-mutation λ across patched variants (0.0 if none)."""
+        if not self.patches:
+            return 0.0
+        return max(s.lambda_after for s in self.patches.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graph_version": self.graph_version,
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "vertices_added": self.vertices_added,
+            "vertices_removed": self.vertices_removed,
+            "worst_lambda": self.worst_lambda,
+            "patches": {
+                name: stats.to_dict() for name, stats in self.patches.items()
+            },
+        }
 
 
 class GraphSession:
@@ -74,26 +164,47 @@ class GraphSession:
         partitioner: str = "coordinated",
         split: Optional[EdgeSplitConfig] = None,
         seed: int = 0,
+        repartition_threshold: Optional[float] = None,
     ) -> None:
         if machines < 1:
             raise ConfigError(f"machines must be >= 1, got {machines}")
+        if repartition_threshold is not None and repartition_threshold < 1.0:
+            raise ConfigError(
+                f"repartition_threshold is multiplicative over the "
+                f"baseline λ and must be >= 1.0, got {repartition_threshold}"
+            )
         self.graph = graph
         self.machines = machines
         self.partitioner = partitioner
         self.split = split
         self.seed = seed
-        #: bumped if/when the resident graph is swapped (forward-compat
-        #: with dynamic graphs); serving caches key on it
+        #: λ-drift budget for the repartition valve: after a mutation,
+        #: if any variant's replication factor exceeds
+        #: ``baseline λ × threshold``, the worst-replicated vertices are
+        #: consolidated (xDGP-style local refinement). ``None`` disables.
+        self.repartition_threshold = repartition_threshold
+        #: bumped on every applied mutation batch; serving caches key on it
         self.graph_version = 0
         #: total engine runs served by this session
         self.runs_completed = 0
         self.last_result: Optional[EngineResult] = None
+        self.last_apply: Optional[ApplyResult] = None
         # graph-requirement key (requires_symmetric, needs_weights) ->
-        # prepared DiGraph / PartitionedGraph; plan key adds the
-        # worker-runtime kind ("delta" | "gas")
-        self._graphs: Dict[Tuple[bool, bool], DiGraph] = {}
-        self._pgraphs: Dict[Tuple[bool, bool], Any] = {}
-        self._plans: Dict[Tuple[Tuple[bool, bool], str], List[Any]] = {}
+        # base (as-loaded, mutations replayed) / prepared DiGraph /
+        # PartitionedGraph; plan key adds the worker-runtime kind
+        # ("delta" | "gas")
+        self._bases: Dict[GraphKey, DiGraph] = {}
+        self._graphs: Dict[GraphKey, DiGraph] = {}
+        self._pgraphs: Dict[GraphKey, Any] = {}
+        self._plans: Dict[Tuple[GraphKey, str], List[Any]] = {}
+        #: λ the last from-scratch partitioning of each variant produced
+        self._baseline_lambda: Dict[GraphKey, float] = {}
+        #: every batch applied, in order — replayed when a variant is
+        #: first prepared after mutations
+        self._mutation_log: List[MutationBatch] = []
+        #: program fingerprint -> {graph_version, graph, state}: the
+        #: converged fixpoint warm starts re-run from
+        self._fixpoints: Dict[Any, Dict[str, Any]] = {}
         self._pool = None  # lazy WorkerPool, created on first process run
         self._closed = False
 
@@ -105,11 +216,13 @@ class GraphSession:
         partitioner: str = "coordinated",
         split: Optional[EdgeSplitConfig] = None,
         seed: int = 0,
+        repartition_threshold: Optional[float] = None,
     ) -> "GraphSession":
         """Open a session; graph-level choices are fixed for its lifetime."""
         return cls(
             graph, machines=machines, partitioner=partitioner,
             split=split, seed=seed,
+            repartition_threshold=repartition_threshold,
         )
 
     # ------------------------------------------------------------------
@@ -117,21 +230,50 @@ class GraphSession:
         if self._closed:
             raise ConfigError("session is closed")
 
-    def _prepared(self, program) -> Tuple[Any, List[Any]]:
+    def _resolve_base(self, program) -> DiGraph:
+        """The program's base graph with every logged mutation replayed.
+
+        With an empty mutation log this is exactly the graph
+        ``prepare_graph`` starts from, so first-run behavior (and its
+        bit-identity to ``repro.run``) is unchanged.
+        """
+        from repro.graph.datasets import load_dataset
+
+        if isinstance(self.graph, str):
+            g = load_dataset(self.graph, weighted=program.needs_weights)
+        else:
+            g = self.graph
+        for batch in self._mutation_log:
+            vbatch = batch if g.weights is not None else batch.without_weights()
+            g, _ = apply_batch(g, vbatch)
+        return g
+
+    def _prepared(self, program) -> Tuple[Any, GraphKey]:
         """The partitioned graph + CSR plans this program runs against."""
-        from repro.run_api import prepare_graph
+        from repro.graph.generators import attach_uniform_weights
 
         key = (bool(program.requires_symmetric), bool(program.needs_weights))
         if key not in self._graphs:
-            self._graphs[key] = prepare_graph(
-                self.graph, program, seed=self.seed
-            )
+            base = self._resolve_base(program)
+            g = base
+            if program.requires_symmetric:
+                sym = g.symmetrized()
+                sym.name = g.name
+                g = sym
+            if program.needs_weights and g.weights is None:
+                g = attach_uniform_weights(
+                    g, seed=derive_seed(self.seed, "weights")
+                )
+            self._bases[key] = base
+            self._graphs[key] = g
         if key not in self._pgraphs:
-            self._pgraphs[key] = build_lazy_graph(
+            pgraph = build_lazy_graph(
                 self._graphs[key], self.machines,
                 partitioner=self.partitioner, split_config=self.split,
                 seed=self.seed,
             )
+            self._pgraphs[key] = pgraph
+            self._baseline_lambda[key] = float(pgraph.replication_factor)
         return self._pgraphs[key], key
 
     def _plans_for(self, spec: EngineSpec, pgraph, key) -> List[Any]:
@@ -157,6 +299,172 @@ class GraphSession:
             self._plans[pkey] = plans
         return self._plans[pkey]
 
+    # ------------------------------------------------------------------
+    def _patch_variant(
+        self, key: GraphKey, batch: MutationBatch, next_version: int
+    ) -> Tuple[Any, Optional[PatchStats]]:
+        """Patch one cached graph variant in place; returns (base diff,
+        partition patch stats)."""
+        from repro.kernels import CSRPlan
+
+        sym, _weighted = key
+        old_base = self._bases[key]
+        vbatch = (
+            batch if old_base.weights is not None else batch.without_weights()
+        )
+        new_base, bdiff = apply_batch(old_base, vbatch)
+        old_prep = self._graphs[key]
+        synthetic = old_prep.weights is not None and old_base.weights is None
+
+        if sym:
+            new_prep, pdiff = symmetrized_patch(old_prep, old_base, new_base)
+            if synthetic and pdiff.num_added:
+                # both directions of an added pair share one derived
+                # weight (symmetrized_patch appends u→v halves then v→u
+                # halves); per-version seed keeps replays deterministic
+                half = pdiff.num_added // 2
+                rng = make_rng(derive_seed(
+                    self.seed, f"weights-v{next_version}-{_key_name(key)}"
+                ))
+                w = rng.uniform(1.0, 10.0, size=half)
+                new_prep.weights[pdiff.num_kept:] = np.concatenate([w, w])
+        elif synthetic:
+            rng = make_rng(derive_seed(
+                self.seed, f"weights-v{next_version}-{_key_name(key)}"
+            ))
+            derived = rng.uniform(1.0, 10.0, size=bdiff.num_added)
+            explicit = batch.explicit_weights()
+            add_w = np.array(
+                [
+                    derived[i] if explicit[i] is None else float(explicit[i])
+                    for i in range(bdiff.num_added)
+                ],
+                dtype=np.float64,
+            )
+            new_prep = DiGraph(
+                new_base.num_vertices, new_base.src, new_base.dst,
+                np.concatenate([old_prep.weights[bdiff.kept_eids], add_w]),
+                name=old_prep.name,
+            )
+            pdiff = bdiff
+        else:
+            # prepared graph IS the base (weighted input, or no weights
+            # needed) — nothing to overlay
+            new_prep = new_base
+            pdiff = bdiff
+
+        pstats: Optional[PatchStats] = None
+        if key in self._pgraphs:
+            new_pg, pstats = patch_partition(
+                self._pgraphs[key], new_prep, pdiff
+            )
+            new_pg, moved = repartition_if_needed(
+                new_pg, self._baseline_lambda.get(key, 0.0),
+                self.repartition_threshold,
+            )
+            if moved:
+                pstats.repartitioned_vertices = moved
+                pstats.lambda_after = float(new_pg.replication_factor)
+                # a refinement pass is a fresh partitioning event: the
+                # valve measures drift from it, not from session open
+                self._baseline_lambda[key] = float(new_pg.replication_factor)
+                unchanged = frozenset()
+            else:
+                unchanged = frozenset(pstats.machines_unchanged)
+            for pkey in [pk for pk in self._plans if pk[0] == key]:
+                kind = pkey[1]
+                old_plans = self._plans[pkey]
+                new_plans: List[Any] = []
+                for i, mg in enumerate(new_pg.machines):
+                    if i in unchanged:
+                        new_plans.append(old_plans[i])
+                    elif kind == "gas":
+                        new_plans.append((
+                            CSRPlan(mg.edst, mg.num_local_vertices),
+                            CSRPlan(mg.esrc, mg.num_local_vertices),
+                        ))
+                    else:
+                        new_plans.append(
+                            CSRPlan(mg.esrc, mg.num_local_vertices,
+                                    dst=mg.edst)
+                        )
+                self._plans[pkey] = new_plans
+            self._pgraphs[key] = new_pg
+        self._bases[key] = new_base
+        self._graphs[key] = new_prep
+        return bdiff, pstats
+
+    def apply(self, batch: MutationBatch) -> ApplyResult:
+        """Apply one mutation batch to the resident graph.
+
+        Bumps :attr:`graph_version` and incrementally patches every
+        cached artifact — base and prepared graphs keep their edge-id
+        layout (kept edges first, then additions), the vertex-cut
+        carries every surviving edge's assignment and only places the
+        new edges, and per-machine CSR plans are rebuilt only for
+        machines whose local graph actually changed. Fixpoint records
+        from earlier runs survive, which is what makes a subsequent
+        ``run(..., incremental=True)`` a warm start rather than a cold
+        one.
+
+        When :attr:`repartition_threshold` is set and a variant's λ
+        drifted past ``baseline × threshold``, the worst-replicated
+        vertices are consolidated before plans are rebuilt.
+
+        Raises :class:`~repro.errors.ConfigError` for sessions opened
+        with an edge ``split`` (parallel-edge dispatch is global — it
+        cannot be patched locally) and
+        :class:`~repro.errors.GraphError` when the batch does not fit
+        the graph; on error the session is unchanged.
+        """
+        self._check_open()
+        if not isinstance(batch, MutationBatch):
+            raise ConfigError(
+                f"apply() takes a MutationBatch, got {type(batch).__name__}"
+            )
+        if self.split is not None:
+            raise ConfigError(
+                "dynamic mutation does not support sessions opened with "
+                "split= (parallel-edges dispatch is global); open the "
+                "session without an edge split"
+            )
+        # validate against every cached base before touching anything,
+        # so a bad batch cannot leave variants half-patched
+        for key in sorted(self._graphs):
+            base = self._bases[key]
+            vbatch = (
+                batch if base.weights is not None else batch.without_weights()
+            )
+            vbatch.validate(base)
+
+        next_version = self.graph_version + 1
+        patches: Dict[str, PatchStats] = {}
+        edges_added = batch.num_added_edges
+        edges_removed = 0
+        # sorted keys put directed variants first: the reported
+        # structural counts come from a directed base when one is cached
+        for i, key in enumerate(sorted(self._graphs)):
+            bdiff, pstats = self._patch_variant(key, batch, next_version)
+            if i == 0:
+                edges_added = bdiff.num_added
+                edges_removed = bdiff.num_removed
+            if pstats is not None:
+                patches[_key_name(key)] = pstats
+
+        self._mutation_log.append(batch)
+        self.graph_version = next_version
+        self.last_result = None
+        result = ApplyResult(
+            graph_version=next_version,
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            vertices_added=batch.num_added_vertices,
+            vertices_removed=batch.num_removed_vertices,
+            patches=patches,
+        )
+        self.last_apply = result
+        return result
+
     @property
     def pool(self):
         """The session's warm worker pool (created on first access)."""
@@ -175,6 +483,8 @@ class GraphSession:
             "partitioned_graphs": len(self._pgraphs),
             "plans": len(self._plans),
             "machines": self.machines,
+            "mutations_applied": len(self._mutation_log),
+            "fixpoints": len(self._fixpoints),
             "closed": self._closed,
         }
 
@@ -234,8 +544,44 @@ class GraphSession:
         else:
             program = spec.make_program(algorithm, **config.params)
 
+        if config.incremental:
+            if spec.program_api != "delta" or not isinstance(
+                program, DeltaProgram
+            ):
+                raise ConfigError(
+                    "incremental=True requires a delta-engine run "
+                    f"(engine {config.engine!r} is {spec.program_api!r})"
+                )
+            if not getattr(program, "supports_warm_start", False):
+                raise ConfigError(
+                    f"algorithm {program.name!r} does not support "
+                    f"incremental runs (supports_warm_start=False)"
+                )
+
         pgraph, key = self._prepared(program)
         plans = self._plans_for(spec, pgraph, key)
+
+        # fixpoint bookkeeping: delta programs that opt into warm starts
+        # get their converged state recorded so a later incremental run
+        # (after apply()) can re-converge from the mutation frontier
+        fingerprint = None
+        if (
+            spec.program_api == "delta"
+            and isinstance(program, DeltaProgram)
+            and getattr(program, "supports_warm_start", False)
+            and pgraph.parallel_eids.size == 0
+        ):
+            fingerprint = self._fingerprint(program, key)
+
+        warm: Optional[WarmStartProgram] = None
+        record = None
+        if config.incremental and fingerprint is not None:
+            record = self._fixpoints.get(fingerprint)
+            if record is not None:
+                warm = plan_warm_start(
+                    program, record["graph"], self._graphs[key],
+                    record["state"],
+                )
 
         tracer = config.tracer
         if tracer is None and config.trace_out is not None:
@@ -247,12 +593,51 @@ class GraphSession:
         kwargs["plans"] = plans
 
         self.reset()
-        result = spec.cls(pgraph, program, **kwargs).run()
+        engine = spec.cls(pgraph, warm if warm is not None else program,
+                          **kwargs)
+        result = engine.run()
+        if fingerprint is not None:
+            self._fixpoints[fingerprint] = {
+                "graph_version": self.graph_version,
+                "graph": self._graphs[key],
+                "state": collect_state(pgraph, engine.runtimes),
+            }
+        if config.incremental:
+            # annotated only on incremental requests so non-incremental
+            # runs stay bit-identical to repro.run (stats included)
+            result.stats.extra["warm_start"] = 1 if warm is not None else 0
+            if warm is not None:
+                result.stats.extra["warm_reseeded"] = warm.num_reseeded
+                result.stats.extra["warm_injections"] = warm.num_injections
+                result.stats.extra["warm_from_version"] = (
+                    record["graph_version"]
+                )
         if config.trace_out is not None and result.trace is not None:
             export_trace(result.trace, config.trace_out, config.trace_format)
         self.runs_completed += 1
         self.last_result = result
         return result
+
+    def _fingerprint(self, program, key: GraphKey) -> Any:
+        """Hashable identity of a program's parameterization.
+
+        Two program instances with the same class-declared name and the
+        same instance attributes (arrays compared by content) share a
+        fixpoint slot; a warm-start wrapper fingerprints as its base.
+        """
+        base = program.base if isinstance(program, WarmStartProgram) \
+            else program
+        parts = []
+        for attr, value in sorted(vars(base).items()):
+            if isinstance(value, np.ndarray):
+                parts.append((attr, tuple(value.tolist())))
+            elif isinstance(value, (bool, int, float, str, type(None))):
+                parts.append((attr, value))
+            elif isinstance(value, (list, tuple)):
+                parts.append((attr, tuple(value)))
+            else:
+                parts.append((attr, repr(value)))
+        return (key, base.name, tuple(parts))
 
     def reset(self) -> None:
         """Drop per-run state, keep the cached graph artifacts + pool.
@@ -273,10 +658,14 @@ class GraphSession:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self._bases.clear()
         self._graphs.clear()
         self._pgraphs.clear()
         self._plans.clear()
+        self._baseline_lambda.clear()
+        self._fixpoints.clear()
         self.last_result = None
+        self.last_apply = None
 
     def __enter__(self) -> "GraphSession":
         return self

@@ -223,13 +223,20 @@ class TestPolicyCli:
                  "--policy", "bogus"]
             )
 
-    def test_deprecated_interval_flag_warns(self):
-        with pytest.warns(DeprecationWarning, match="interval"):
-            rc = main(
+    def test_removed_interval_flag_is_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
                 ["run", "--graph", "road-ca-mini", "--algorithm",
                  "pagerank", "--machines", "4", "--engine", "lazy-block",
                  "--interval", "simple"]
             )
+
+    def test_policy_opt_interval_replaces_the_flag(self):
+        rc = main(
+            ["run", "--graph", "road-ca-mini", "--algorithm",
+             "pagerank", "--machines", "4", "--engine", "lazy-block",
+             "--policy-opt", "interval=simple"]
+        )
         assert rc == 0
 
     def test_policy_rejected_on_eager_engine(self):

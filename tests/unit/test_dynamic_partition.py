@@ -1,0 +1,145 @@
+"""Partition patching across mutations: carry, place, repartition.
+
+:func:`patch_partition` must produce a *valid* vertex-cut (every check
+in ``PartitionedGraph.validate``) whose kept edges stayed on their old
+machines, report λ honestly, and name exactly the machines whose local
+graphs survived untouched — that list is the session's license to reuse
+cached CSR plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.transmission import build_lazy_graph
+from repro.errors import ConfigError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.mutation import MutationBatch, apply_batch
+from repro.partition.dynamic import (
+    patch_partition,
+    repartition_if_needed,
+    repartition_worst,
+)
+from repro.partition.edge_splitter import EdgeSplitConfig
+from repro.partition.partitioned_graph import PartitionedGraph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = erdos_renyi_graph(120, 900, seed=4)
+    pgraph = build_lazy_graph(graph, 6, seed=1)
+    batch = (
+        MutationBatch()
+        .add_vertices(1)
+        .add_edge(0, 120)
+        .add_edge(120, 50)
+        .add_edge(3, 90)
+        .remove_edge(int(graph.src[5]), int(graph.dst[5]))
+        .remove_edge(int(graph.src[200]), int(graph.dst[200]))
+    )
+    new_graph, diff = apply_batch(graph, batch)
+    new_pgraph, stats = patch_partition(pgraph, new_graph, diff)
+    return graph, pgraph, new_graph, diff, new_pgraph, stats
+
+
+class TestPatchPartition:
+    def test_patched_partition_is_valid(self, setup):
+        *_, new_pgraph, _ = setup
+        new_pgraph.validate()  # raises on any broken invariant
+
+    def test_kept_edges_keep_their_machines(self, setup):
+        _, pgraph, _, diff, new_pgraph, _ = setup
+        np.testing.assert_array_equal(
+            new_pgraph.assignment[: diff.num_kept],
+            pgraph.assignment[diff.kept_eids],
+        )
+
+    def test_stats_account_for_every_edge(self, setup):
+        _, _, new_graph, diff, new_pgraph, stats = setup
+        assert stats.edges_carried + stats.edges_placed == (
+            new_graph.num_edges
+        )
+        assert stats.edges_removed == diff.num_removed
+        assert stats.lambda_after == pytest.approx(
+            float(new_pgraph.replication_factor)
+        )
+
+    def test_unchanged_machines_really_are_unchanged(self, setup):
+        _, pgraph, _, _, new_pgraph, stats = setup
+        assert stats.machines_unchanged, "patch touched every machine?"
+        for m in stats.machines_unchanged:
+            old_mg, new_mg = pgraph.machines[m], new_pgraph.machines[m]
+            np.testing.assert_array_equal(old_mg.vertices, new_mg.vertices)
+            np.testing.assert_array_equal(old_mg.esrc, new_mg.esrc)
+            np.testing.assert_array_equal(old_mg.edst, new_mg.edst)
+        assert stats.machines_rebuilt == (
+            stats.num_machines - len(stats.machines_unchanged)
+        )
+
+    def test_greedy_placement_prefers_endpoint_machines(self, setup):
+        _, pgraph, _, diff, new_pgraph, _ = setup
+        # the edge 3->90 (both endpoints pre-existing) must land on a
+        # machine already hosting one of its endpoints
+        eid = diff.num_kept + 2
+        home = int(new_pgraph.assignment[eid])
+        hosts = set(pgraph.replicas_of(3)) | set(pgraph.replicas_of(90))
+        assert home in hosts
+
+    def test_to_dict_round_trips_the_numbers(self, setup):
+        *_, stats = setup
+        d = stats.to_dict()
+        assert d["edges_carried"] == stats.edges_carried
+        assert d["lambda_drift"] == pytest.approx(stats.lambda_drift)
+
+    def test_parallel_edge_sessions_rejected(self):
+        graph = erdos_renyi_graph(60, 700, seed=2)
+        pgraph = build_lazy_graph(
+            graph, 4, seed=0,
+            split_config=EdgeSplitConfig(textra=1.0),
+        )
+        if pgraph.parallel_eids.size == 0:
+            pytest.skip("splitter found nothing to split")
+        new_graph, diff = apply_batch(
+            graph, MutationBatch().add_edge(0, 1)
+        )
+        with pytest.raises(ConfigError):
+            patch_partition(pgraph, new_graph, diff)
+
+    def test_mismatched_diff_rejected(self, setup):
+        graph, pgraph, *_ = setup
+        other, diff = apply_batch(graph, MutationBatch().add_edge(0, 1))
+        bad = erdos_renyi_graph(120, 50, seed=9)
+        with pytest.raises(ConfigError):
+            patch_partition(pgraph, bad, diff)
+
+
+class TestRepartition:
+    def test_consolidation_reduces_lambda(self):
+        graph = erdos_renyi_graph(80, 600, seed=6)
+        # adversarial assignment: scatter edges round-robin
+        assignment = np.arange(graph.num_edges, dtype=np.int64) % 6
+        before = PartitionedGraph.build(graph, assignment, 6)
+        refined, moved = repartition_worst(
+            graph, assignment, 6, max_vertices=32
+        )
+        assert moved
+        after = PartitionedGraph.build(graph, refined, 6)
+        after.validate()
+        assert after.replication_factor < before.replication_factor
+
+    def test_valve_respects_threshold(self):
+        graph = erdos_renyi_graph(80, 600, seed=6)
+        assignment = np.arange(graph.num_edges, dtype=np.int64) % 6
+        pgraph = PartitionedGraph.build(graph, assignment, 6)
+        lam = float(pgraph.replication_factor)
+        # generous budget: nothing happens
+        same, moved = repartition_if_needed(pgraph, lam, threshold=2.0)
+        assert same is pgraph and moved == []
+        # threshold disabled: nothing happens
+        same, moved = repartition_if_needed(pgraph, lam, threshold=None)
+        assert same is pgraph and moved == []
+        # drifted past budget: the valve fires and λ improves
+        refined, moved = repartition_if_needed(
+            pgraph, lam / 2.0, threshold=1.1
+        )
+        assert moved
+        assert refined.replication_factor < pgraph.replication_factor

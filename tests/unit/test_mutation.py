@@ -1,0 +1,249 @@
+"""MutationBatch semantics + graph patch layout guarantees.
+
+The dynamic-graph layer leans on two contracts proved here:
+
+* :func:`apply_batch` lays the patched graph out as kept-in-order ++
+  added, and the returned :class:`EdgeDiff` is an exact old↔new edge-id
+  correspondence;
+* :func:`symmetrized_patch` is structurally equivalent to re-running
+  the full symmetrization on the patched base — same edge multiset,
+  same per-pair min weights — while keeping surviving edge-id slots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.mutation import (
+    EdgeDiff,
+    MutationBatch,
+    apply_batch,
+    symmetrized_patch,
+)
+
+
+def edge_multiset(g: DiGraph):
+    if g.weights is not None:
+        return sorted(zip(g.src.tolist(), g.dst.tolist(),
+                          np.round(g.weights, 9).tolist()))
+    return sorted(zip(g.src.tolist(), g.dst.tolist()))
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(
+        6,
+        np.array([0, 0, 1, 2, 3, 4, 4], dtype=np.int64),
+        np.array([1, 2, 2, 3, 4, 5, 0], dtype=np.int64),
+        name="toy",
+    )
+
+
+@pytest.fixture
+def weighted(graph):
+    return graph.with_weights(
+        np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    )
+
+
+class TestBatchBuilding:
+    def test_builders_chain_and_count(self):
+        batch = (
+            MutationBatch()
+            .add_vertices(2)
+            .add_edge(0, 6)
+            .add_edges([(1, 7), (2, 3)])
+            .remove_edge(0, 1)
+            .remove_vertex(5)
+        )
+        assert batch.num_added_vertices == 2
+        assert batch.num_added_edges == 3
+        assert batch.num_removed_edges == 1
+        assert batch.num_removed_vertices == 1
+        assert not batch.is_empty()
+        assert len(batch) == 7
+
+    def test_empty_batch(self):
+        assert MutationBatch().is_empty()
+        assert len(MutationBatch()) == 0
+
+    def test_merge_concatenates(self):
+        a = MutationBatch().add_edge(0, 1, weight=2.0).add_vertices(1)
+        b = MutationBatch().remove_edge(3, 4).add_edge(1, 2)
+        merged = a.merge(b)
+        assert merged.num_added_edges == 2
+        assert merged.num_removed_edges == 1
+        assert merged.num_added_vertices == 1
+        assert merged.explicit_weights() == [2.0, None]
+
+    def test_without_weights_strips_only_weights(self):
+        batch = MutationBatch().add_edge(0, 1, weight=9.0).remove_edge(2, 3)
+        bare = batch.without_weights()
+        assert bare.num_added_edges == 1
+        assert bare.num_removed_edges == 1
+        assert bare.explicit_weights() == [None]
+        # the original is untouched
+        assert batch.explicit_weights() == [9.0]
+
+    def test_wire_format_round_trip(self):
+        batch = (
+            MutationBatch()
+            .add_vertices(1)
+            .add_edge(0, 6, weight=1.5)
+            .add_edge(1, 2)
+            .remove_edge(3, 4)
+            .remove_vertex(5)
+        )
+        clone = MutationBatch.from_dict(batch.to_dict())
+        assert clone.to_dict() == batch.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(GraphError):
+            MutationBatch.from_dict({"add_edgez": [[0, 1]]})
+
+
+class TestValidation:
+    def test_endpoints_may_use_new_vertices(self, graph):
+        batch = MutationBatch().add_vertices(1).add_edge(5, 6)
+        batch.validate(graph)  # no raise
+
+    def test_out_of_range_endpoint_rejected(self, graph):
+        with pytest.raises(GraphError):
+            MutationBatch().add_edge(0, 6).validate(graph)
+
+    def test_removing_absent_edge_rejected(self, graph):
+        with pytest.raises(GraphError):
+            MutationBatch().remove_edge(5, 0).validate(graph)
+
+    def test_weighted_add_on_unweighted_graph_rejected(self, graph):
+        with pytest.raises(GraphError):
+            MutationBatch().add_edge(0, 3, weight=2.0).validate(graph)
+
+
+class TestApplyBatch:
+    def test_layout_is_kept_then_added(self, graph):
+        batch = MutationBatch().remove_edge(0, 2).add_edge(3, 0)
+        patched, diff = apply_batch(graph, batch)
+        assert diff.num_removed == 1
+        assert diff.removed_eids.tolist() == [1]
+        # kept edges keep their relative order
+        np.testing.assert_array_equal(
+            patched.src[: diff.num_kept], graph.src[diff.kept_eids]
+        )
+        np.testing.assert_array_equal(
+            patched.dst[diff.num_kept:], np.array([0])
+        )
+        assert diff.added_eids.tolist() == [diff.num_kept]
+
+    def test_remove_vertex_drops_all_incident_edges(self, graph):
+        patched, diff = apply_batch(
+            graph, MutationBatch().remove_vertex(2)
+        )
+        assert 2 not in patched.src.tolist()
+        assert 2 not in patched.dst.tolist()
+        # vertex id slots are never renumbered
+        assert patched.num_vertices == graph.num_vertices
+        assert diff.num_removed == 3  # 0->2, 1->2, 2->3
+
+    def test_remove_edge_removes_all_parallel_copies(self):
+        g = DiGraph(
+            3,
+            np.array([0, 0, 1], dtype=np.int64),
+            np.array([1, 1, 2], dtype=np.int64),
+        )
+        patched, diff = apply_batch(g, MutationBatch().remove_edge(0, 1))
+        assert patched.num_edges == 1
+        assert diff.num_removed == 2
+
+    def test_weights_carried_and_defaulted(self, weighted):
+        batch = (
+            MutationBatch()
+            .remove_edge(0, 1)
+            .add_edge(5, 0, weight=2.5)
+            .add_edge(3, 1)
+        )
+        patched, diff = apply_batch(weighted, batch)
+        np.testing.assert_array_equal(
+            patched.weights[: diff.num_kept],
+            weighted.weights[diff.kept_eids],
+        )
+        assert patched.weights[diff.num_kept:].tolist() == [2.5, 1.0]
+
+    def test_input_graph_untouched(self, graph):
+        before = edge_multiset(graph)
+        apply_batch(graph, MutationBatch().remove_edge(0, 1).add_edge(5, 0))
+        assert edge_multiset(graph) == before
+
+    def test_identity_batch(self, graph):
+        patched, diff = apply_batch(graph, MutationBatch())
+        assert diff.is_identity()
+        assert edge_multiset(patched) == edge_multiset(graph)
+
+
+class TestSymmetrizedPatch:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_structurally_equals_full_resymmetrization(self, seed):
+        base = erdos_renyi_graph(40, 160, seed=seed)
+        old_sym = base.symmetrized()
+        batch = (
+            MutationBatch()
+            .add_vertices(1)
+            .add_edge(0, 40)
+            .add_edge(3, 17)
+            .remove_edge(int(base.src[0]), int(base.dst[0]))
+            .remove_vertex(11)
+        )
+        new_base, _ = apply_batch(base, batch)
+        patched, diff = symmetrized_patch(old_sym, base, new_base)
+        assert edge_multiset(patched) == edge_multiset(
+            new_base.symmetrized()
+        )
+        assert diff.num_kept + diff.num_added == patched.num_edges
+
+    def test_weighted_base_weight_change_replaces_pair(self):
+        base = DiGraph(
+            3,
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([5.0, 2.0]),
+        )
+        old_sym = base.symmetrized()
+        # replace 0->1 at a new weight: remove + add in one batch
+        batch = MutationBatch().remove_edge(0, 1).add_edge(0, 1, weight=1.0)
+        new_base, _ = apply_batch(base, batch)
+        patched, diff = symmetrized_patch(old_sym, base, new_base)
+        assert edge_multiset(patched) == edge_multiset(
+            new_base.symmetrized()
+        )
+        assert diff.num_removed == 2 and diff.num_added == 2
+
+    def test_synthetic_weights_fill_and_caller_overwrite(self):
+        base = erdos_renyi_graph(20, 60, seed=3)
+        old_sym = base.symmetrized().with_weights(
+            np.linspace(1.0, 2.0, base.symmetrized().num_edges)
+        )
+        batch = MutationBatch().add_edge(0, 19)
+        new_base, _ = apply_batch(base, batch)
+        patched, diff = symmetrized_patch(old_sym, base, new_base)
+        # kept edges keep their synthetic weights; added get the fill
+        np.testing.assert_array_equal(
+            patched.weights[: diff.num_kept], old_sym.weights[diff.kept_eids]
+        )
+        assert set(patched.weights[diff.num_kept:].tolist()) == {1.0}
+
+
+class TestEdgeDiff:
+    def test_added_eids_follow_kept(self):
+        diff = EdgeDiff(
+            kept_eids=np.array([0, 2], dtype=np.int64),
+            removed_eids=np.array([1], dtype=np.int64),
+            added_src=np.array([4], dtype=np.int64),
+            added_dst=np.array([5], dtype=np.int64),
+            num_vertices_before=6,
+            num_vertices_after=6,
+        )
+        assert diff.added_eids.tolist() == [2]
+        assert not diff.is_identity()
+        assert "kept=2" in diff.summary()

@@ -236,25 +236,17 @@ class TestResolvePolicy:
         assert pol.controller == "staleness"
         assert explicit is True
 
-    def test_deprecated_interval_warns_and_applies(self):
-        with pytest.warns(DeprecationWarning, match="interval"):
-            pol, explicit = resolve_policy(interval="never")
-        assert pol.interval == "never"
-        assert explicit is True
+    def test_removed_interval_raises_with_migration_hint(self):
+        with pytest.raises(ConfigError, match="CoherencyPolicy\\(interval"):
+            resolve_policy(interval="never")
 
-    def test_deprecated_mode_warns_but_is_not_explicit(self):
-        with pytest.warns(DeprecationWarning, match="coherency_mode"):
-            pol, explicit = resolve_policy(coherency_mode="a2a")
-        assert pol.mode == "a2a"
-        assert explicit is False  # mode alone never implied a lazy engine
+    def test_removed_mode_raises_with_migration_hint(self):
+        with pytest.raises(ConfigError, match="mode=..."):
+            resolve_policy(coherency_mode="a2a")
 
-    def test_warn_false_is_silent(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            pol, _ = resolve_policy(
-                interval="simple", coherency_mode="m2m", warn=False
-            )
-        assert pol.interval == "simple" and pol.mode == "m2m"
+    def test_removed_max_delta_age_raises_with_migration_hint(self):
+        with pytest.raises(ConfigError, match="max_delta_age"):
+            resolve_policy(max_delta_age=4)
 
 
 class TestSignalTap:
@@ -305,37 +297,35 @@ class TestSignalTap:
         assert a.drift_sample() == b.drift_sample()
 
 
-class TestShimEquivalence:
-    """The deprecated kwargs behave exactly like their policy spelling."""
+class TestShimRemoval:
+    """The pre-PR-10 kwargs are gone; the policy spelling is the API."""
 
     def _counters(self, result):
         s = result.stats
         return (s.supersteps, s.coherency_points, s.global_syncs,
                 s.comm_messages, s.comm_bytes)
 
-    def test_interval_kwarg_equals_policy_interval(self):
+    def test_interval_kwarg_is_a_config_error(self):
         from repro.run_api import run
 
-        with pytest.warns(DeprecationWarning, match="interval"):
-            old = run("road-ca-mini", "pagerank", engine="lazy-block",
-                      machines=4, seed=0, interval="simple")
-        new = run("road-ca-mini", "pagerank", engine="lazy-block",
-                  machines=4, seed=0,
-                  policy=CoherencyPolicy(interval="simple"))
-        assert self._counters(old) == self._counters(new)
-        assert np.array_equal(old.values, new.values)
+        with pytest.raises(ConfigError, match="CoherencyPolicy\\(interval"):
+            run("road-ca-mini", "pagerank", engine="lazy-block",
+                machines=4, seed=0, interval="simple")
 
-    def test_coherency_mode_kwarg_equals_policy_mode(self):
+    def test_coherency_mode_kwarg_is_a_config_error(self):
         from repro.run_api import run
 
-        with pytest.warns(DeprecationWarning, match="coherency_mode"):
-            old = run("road-ca-mini", "cc", engine="lazy-vertex",
-                      machines=4, seed=0, coherency_mode="a2a")
-        new = run("road-ca-mini", "cc", engine="lazy-vertex",
-                  machines=4, seed=0,
-                  policy=CoherencyPolicy(mode="a2a"))
-        assert self._counters(old) == self._counters(new)
-        assert np.array_equal(old.values, new.values)
+        with pytest.raises(ConfigError, match="mode=..."):
+            run("road-ca-mini", "cc", engine="lazy-vertex",
+                machines=4, seed=0, coherency_mode="a2a")
+
+    def test_policy_interval_spelling_runs(self):
+        from repro.run_api import run
+
+        r = run("road-ca-mini", "pagerank", engine="lazy-block",
+                machines=4, seed=0,
+                policy=CoherencyPolicy(interval="simple"))
+        assert r.stats.supersteps > 0
 
     def test_default_run_equals_explicit_paper_policy(self):
         from repro.run_api import run

@@ -33,17 +33,13 @@ class TestRun:
         with pytest.raises(ConfigError, match="unknown engine"):
             repro.run(er_graph, "pagerank", engine="bogus", machines=2)
 
-    def test_interval_rejected_for_eager(self, er_graph):
-        with pytest.warns(DeprecationWarning, match="interval"):
-            with pytest.raises(ConfigError, match="interval"):
-                repro.run(
-                    er_graph, "pagerank", engine="powergraph-sync",
-                    machines=2, interval="simple",
-                )
+    def test_removed_interval_kwarg_raises(self, er_graph):
+        with pytest.raises(ConfigError, match="CoherencyPolicy\\(interval"):
+            repro.run(er_graph, "pagerank", machines=2, interval="simple")
 
-    def test_interval_by_name(self, er_graph):
-        with pytest.warns(DeprecationWarning, match="interval"):
-            r = repro.run(er_graph, "pagerank", machines=2, interval="never")
+    def test_never_interval_via_policy(self, er_graph):
+        r = repro.run(er_graph, "pagerank", machines=2,
+                      policy=repro.CoherencyPolicy(interval="never"))
         assert r.stats.local_iterations == 0
 
     def test_every_engine_runs(self, er_weighted):

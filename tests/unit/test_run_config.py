@@ -85,8 +85,24 @@ class TestEngineKwargs:
             RunConfig(lens=True).engine_kwargs(EAGER)
 
 
+class TestRemovedKnobs:
+    def test_from_kwargs_rejects_removed_interval(self):
+        with pytest.raises(ConfigError, match="CoherencyPolicy\\(interval"):
+            RunConfig.from_kwargs(interval="simple")
+
+    def test_with_overrides_rejects_removed_mode(self):
+        with pytest.raises(ConfigError, match="mode=..."):
+            RunConfig().with_overrides(coherency_mode="a2a")
+
+    def test_removed_fields_are_gone(self):
+        names = RunConfig.field_names()
+        assert "interval" not in names
+        assert "coherency_mode" not in names
+        assert "incremental" in names
+
+
 class TestExperimentConfigBridge:
-    def test_named_policy_wins_over_legacy_interval_fields(self):
+    def test_named_policy_resolves_with_opts(self):
         exp = ExperimentConfig(
             graph="road-ca-mini", algorithm="cc", policy="staleness",
             policy_opts={"max_delta_age": 2},
@@ -94,16 +110,21 @@ class TestExperimentConfigBridge:
         rc = exp.to_run_config()
         assert isinstance(rc.policy, CoherencyPolicy)
         assert rc.policy.max_delta_age == 2
-        assert rc.interval is None and rc.coherency_mode is None
 
-    def test_legacy_interval_fields_pass_through_without_policy(self):
+    def test_policy_opts_alone_overlay_the_paper_policy(self):
         rc = ExperimentConfig(
             graph="road-ca-mini", algorithm="cc",
-            interval="fixed", coherency_mode="a2a",
+            policy_opts={"interval": "simple", "mode": "a2a"},
+        ).to_run_config()
+        assert isinstance(rc.policy, CoherencyPolicy)
+        assert rc.policy.interval == "simple"
+        assert rc.policy.mode == "a2a"
+
+    def test_no_policy_means_engine_default(self):
+        rc = ExperimentConfig(
+            graph="road-ca-mini", algorithm="cc"
         ).to_run_config()
         assert rc.policy is None
-        assert rc.interval == "fixed"
-        assert rc.coherency_mode == "a2a"
 
     def test_serial_backend_maps_to_engine_default(self):
         rc = ExperimentConfig(

@@ -294,3 +294,53 @@ class TestObservabilityNeutrality:
             served = svc.query("bfs", sources=[0])
         assert served.latency_s > 0.0
         assert served.engine_cost_s > 0.0
+
+
+class TestMutations:
+    """Mutations ride the FIFO queue as barriers; versioned cache keys
+    make invalidation free."""
+
+    def test_mutate_bumps_version_and_counters(self, service, session):
+        from repro.graph.mutation import MutationBatch
+
+        applied = service.mutate(MutationBatch().add_edge(0, 9))
+        assert applied.graph_version == 1
+        assert session.graph_version == 1
+        counters = service.metrics.export()
+        assert counters["serve.mutations"] == 1
+        assert counters["serve.mutations_applied"] == 1
+
+    def test_queries_see_the_graph_version_they_follow(self, service):
+        from repro.graph.mutation import MutationBatch
+
+        before = service.query("bfs", sources=[0])
+        assert before.result.values[150] > 1.0
+        service.mutate(MutationBatch().add_edge(0, 150))
+        after = service.query("bfs", sources=[0])
+        assert not after.cached  # version bump invalidated the key
+        assert after.result.values[150] == 1.0
+        repeat = service.query("bfs", sources=[0])
+        assert repeat.cached
+        assert np.array_equal(repeat.result.values, after.result.values)
+
+    def test_rejects_non_batch_and_closed_service(self, session):
+        from repro.graph.mutation import MutationBatch
+
+        svc = GraphService(session, max_wait=0.0)
+        with pytest.raises(ConfigError):
+            svc.submit_mutation({"add_edges": [[0, 1]]})
+        svc.close()
+        with pytest.raises(ConfigError):
+            svc.submit_mutation(MutationBatch().add_edge(0, 1))
+
+    def test_close_drains_mutation_barriers_in_order(self, session):
+        from repro.graph.mutation import MutationBatch
+
+        svc = GraphService(session, max_wait=5.0, max_batch=64)
+        q1 = svc.submit("bfs", sources=[0])
+        m = svc.submit_mutation(MutationBatch().add_edge(0, 150))
+        q2 = svc.submit("bfs", sources=[0])
+        svc.close()  # drain mode must honour FIFO: q1, mutate, q2
+        assert q1.result(timeout=0).result.values[150] > 1.0
+        assert m.result(timeout=0).graph_version == 1
+        assert q2.result(timeout=0).result.values[150] == 1.0
